@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+The full six-application campaign takes ~20-30s; several benches need its
+results, so it is computed once per process and cached here.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.apps import catalog
+from repro.core.orchestrator import Campaign, CampaignConfig, run_full_campaign
+
+
+@lru_cache(maxsize=None)
+def full_report():
+    """One cached full campaign (all six applications)."""
+    return run_full_campaign(CampaignConfig())
+
+
+@lru_cache(maxsize=None)
+def app_report(app: str, max_pool_size=None, blacklist_threshold: int = 3):
+    """One cached single-application campaign with given knobs."""
+    spec = catalog.spec_for(app)
+    campaign = Campaign(app, spec.registry,
+                        dependency_rules=spec.dependency_rules,
+                        config=CampaignConfig(
+                            max_pool_size=max_pool_size,
+                            blacklist_threshold=blacklist_threshold))
+    return campaign.run()

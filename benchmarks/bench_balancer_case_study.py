@@ -1,0 +1,64 @@
+"""§7.1 case study: dfs.datanode.balance.max.concurrent.moves.
+
+The paper measured the unit test's balancing time under three settings:
+(DataNode:50, Balancer:50) = 14s, (1,1) = 16.7s, (1,50) = 154s — the
+heterogeneous configuration is ~9.2x slower because every declined move
+costs the Balancer dispatcher an 1100 ms congestion back-off.  The bench
+regenerates the series and asserts the shape: both homogeneous settings
+finish comparably, the heterogeneous one collapses by >=5x.
+"""
+
+from __future__ import annotations
+
+from repro.apps.hdfs import Balancer, HdfsConfiguration, MiniDFSCluster
+from repro.core.confagent import ConfAgent
+from repro.core.report import render_table
+from repro.core.testgen import HeteroAssignment, ParamAssignment
+
+PAPER_SERIES = {(50, 50): 14.0, (1, 1): 16.7, (1, 50): 154.0}
+
+
+def balancing_time(dn_limit: int, balancer_limit: int,
+                   blocks: int = 100) -> float:
+    agent = ConfAgent(assignment=HeteroAssignment((ParamAssignment(
+        param="dfs.datanode.balance.max.concurrent.moves", group="DataNode",
+        group_values=(dn_limit,), other_value=balancer_limit),)))
+    with agent:
+        conf = HdfsConfiguration()
+        cluster = MiniDFSCluster(conf, num_datanodes=2)
+        cluster.start()
+        try:
+            moves = [{"block_id": cluster.place_block("/b/f%03d" % i,
+                                                      ["dn0"]),
+                      "source": "dn0", "target": "dn1"}
+                     for i in range(blocks)]
+            balancer = Balancer(conf, cluster)
+            return balancer.run_balancing(moves,
+                                          timeout_s=100000.0)["elapsed_s"]
+        finally:
+            cluster.shutdown()
+
+
+def full_series():
+    return {setting: balancing_time(*setting) for setting in PAPER_SERIES}
+
+
+def test_concurrent_moves_case_study(benchmark):
+    series = benchmark.pedantic(full_series, rounds=1, iterations=1)
+
+    print("\n§7.1 case study — balancing time by "
+          "(DataNode, Balancer) max.concurrent.moves:")
+    print(render_table(
+        ["(DataNode, Balancer)", "simulated seconds (ours)",
+         "seconds (paper)"],
+        [["(%d, %d)" % s, "%.1f" % series[s], "%.1f" % PAPER_SERIES[s]]
+         for s in sorted(PAPER_SERIES)]))
+    ratio = series[(1, 50)] / series[(1, 1)]
+    paper_ratio = PAPER_SERIES[(1, 50)] / PAPER_SERIES[(1, 1)]
+    print("heterogeneous collapse: %.1fx (paper: %.1fx)"
+          % (ratio, paper_ratio))
+
+    # the shape the paper reports
+    assert series[(50, 50)] <= series[(1, 1)]
+    assert ratio >= 5.0
+    benchmark.extra_info["collapse_ratio"] = round(ratio, 2)

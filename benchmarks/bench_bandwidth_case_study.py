@@ -1,0 +1,74 @@
+"""§7.1 case study: dfs.datanode.balance.bandwidthPerSec.
+
+"a DataNode with a high bandwidth limit may send many packets to a
+DataNode with a low limit so that the latter may run out of its quota ...
+such throttling may prevent the DataNode from sending progress reports to
+the Balancer ... the Balancer times out eventually."
+
+The bench streams the same 50 MB transfer under homogeneous and
+heterogeneous bandwidth settings and asserts that only the fast->slow
+heterogeneous setting starves the receiver's progress reports.
+"""
+
+from __future__ import annotations
+
+from repro.apps.hdfs import Balancer, HdfsConfiguration, MiniDFSCluster
+from repro.common.errors import BalancerTimeout
+from repro.core.confagent import ConfAgent
+from repro.core.report import render_table
+from repro.core.testgen import HeteroAssignment, ParamAssignment
+
+MB = 1024 * 1024
+SCENARIOS = (
+    ("homogeneous default (10 MB/s)", 10 * MB, 10 * MB),
+    ("homogeneous high (1000 MB/s)", 1000 * MB, 1000 * MB),
+    ("homogeneous low (100 KB/s)", 100 * 1024, 100 * 1024),
+    ("HETERO fast sender -> slow receiver", 1000 * MB, 100 * 1024),
+    ("hetero slow sender -> fast receiver", 100 * 1024, 1000 * MB),
+)
+
+
+def run_scenario(source_rate: int, target_rate: int):
+    agent = ConfAgent(assignment=HeteroAssignment((ParamAssignment(
+        param="dfs.datanode.balance.bandwidthPerSec", group="DataNode",
+        group_values=(source_rate, target_rate), other_value=target_rate),)))
+    with agent:
+        conf = HdfsConfiguration()
+        cluster = MiniDFSCluster(conf, num_datanodes=2)
+        cluster.start()
+        try:
+            balancer = Balancer(conf, cluster)
+            try:
+                result = balancer.run_throttled_transfer(
+                    "dn0", "dn1", block_bytes=50 * MB,
+                    progress_timeout_s=3.0)
+                return ("completed", result["elapsed_s"],
+                        cluster.datanodes[1].balance_throttler.deficit)
+            except BalancerTimeout:
+                return ("TIMEOUT", float("nan"),
+                        cluster.datanodes[1].balance_throttler.deficit)
+        finally:
+            cluster.shutdown()
+
+
+def full_series():
+    return {label: run_scenario(src, dst) for label, src, dst in SCENARIOS}
+
+
+def test_bandwidth_case_study(benchmark):
+    series = benchmark.pedantic(full_series, rounds=1, iterations=1)
+
+    print("\n§7.1 case study — 50 MB balancing transfer by bandwidth "
+          "setting:")
+    print(render_table(
+        ["Scenario", "Outcome", "Elapsed (sim s)", "Receiver deficit (B)"],
+        [[label, outcome, "%.1f" % elapsed, format(int(deficit), ",")]
+         for label, (outcome, elapsed, deficit) in series.items()]))
+
+    outcomes = {label: series[label][0] for label in series}
+    assert outcomes["HETERO fast sender -> slow receiver"] == "TIMEOUT"
+    assert all(outcome == "completed"
+               for label, outcome in outcomes.items()
+               if label != "HETERO fast sender -> slow receiver")
+    # the starved receiver accumulated a deep bandwidth deficit
+    assert series["HETERO fast sender -> slow receiver"][2] > 10 * MB

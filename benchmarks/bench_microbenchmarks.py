@@ -1,0 +1,92 @@
+"""Microbenchmarks of the substrate primitives every campaign leans on.
+
+Unlike the table benches (which assert the paper's shapes), these are
+plain performance measurements: wire encode/decode, per-chunk checksums,
+simulator event throughput, RPC round trips, and one whole unit-test
+execution.  They bound the cost model behind "a full six-application
+evaluation in ~25s".
+"""
+
+from __future__ import annotations
+
+from repro.common.simulation import Simulator
+from repro.common.wire import (compute_checksums, decode_payload,
+                               encode_payload, verify_checksums)
+
+PAYLOAD = {"op": "transfer", "block": 42, "data": "ab" * 512}
+
+
+def test_wire_encode_decode_plain(benchmark):
+    def round_trip():
+        return decode_payload(encode_payload(PAYLOAD))
+
+    assert benchmark(round_trip) == PAYLOAD
+
+
+def test_wire_encode_decode_full_stack(benchmark):
+    options = {"codec": "gzip", "encryption_key": b"key", "ssl": True}
+
+    def round_trip():
+        return decode_payload(encode_payload(PAYLOAD, **options), **options)
+
+    assert benchmark(round_trip) == PAYLOAD
+
+
+def test_checksum_block(benchmark):
+    data = bytes(range(256)) * 64  # 16 KiB
+
+    def checksum_and_verify():
+        sums = compute_checksums(data, 512, "CRC32")
+        verify_checksums(data, sums, 512, "CRC32")
+        return len(sums)
+
+    assert benchmark(checksum_and_verify) == 32
+
+
+def test_simulator_event_throughput(benchmark):
+    def run_10k_events():
+        sim = Simulator()
+        state = {"count": 0}
+
+        def tick():
+            state["count"] += 1
+            if state["count"] < 10_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.001, tick)
+        sim.run()
+        return state["count"]
+
+    assert benchmark(run_10k_events) == 10_000
+
+
+def test_rpc_round_trip(benchmark):
+    from repro.apps.hdfs import DFSClient, HdfsConfiguration, MiniDFSCluster
+    conf = HdfsConfiguration()
+    cluster = MiniDFSCluster(conf, num_datanodes=1)
+    cluster.start()
+    client = DFSClient(conf, cluster)
+
+    def stats_call():
+        return client.get_stats()["live"]
+
+    assert benchmark(stats_call) == 1
+    cluster.shutdown()
+
+
+def test_single_unit_test_execution(benchmark):
+    """The campaign's unit of work: one corpus test under a ConfAgent."""
+    import random
+
+    from repro.core.confagent import ConfAgent
+    from repro.core.registry import TestContext, load_all_suites
+
+    corpus = load_all_suites()
+    test = corpus.get("hdfs", "TestFileCreation.testWriteReadRoundTrip")
+
+    def one_execution():
+        with ConfAgent():
+            test.fn(TestContext(rng=random.Random(1)))
+        return True
+
+    assert benchmark(one_execution)

@@ -1,0 +1,59 @@
+"""Table 1: statistics for each application (#unit tests, #parameters).
+
+Regenerates the table from our corpus and registries and prints it next
+to the paper's numbers.  Our corpus is a curated scale-down (see
+DESIGN.md), so the assertions check structure, not absolute size: every
+application contributes whole-system tests, Hadoop applications all see
+the Hadoop Common parameters, and Hadoop Tools has no parameters of its
+own.
+"""
+
+from __future__ import annotations
+
+from repro.apps import catalog
+from repro.apps.commonlib import COMMON_REGISTRY
+from repro.core.registry import load_all_suites
+from repro.core.report import render_table
+
+
+def build_table1():
+    corpus = load_all_suites()
+    rows = []
+    for app in catalog.APP_NAMES:
+        spec = catalog.spec_for(app)
+        paper = catalog.PAPER_STATISTICS[app]
+        rows.append({
+            "app": app,
+            "tests_ours": len(corpus.for_app(app)),
+            "tests_paper": paper["unit_tests"],
+            "params_ours": len(spec.registry),
+            "params_paper": paper["app_params"],
+        })
+    return rows
+
+
+def test_table1_statistics(benchmark):
+    rows = benchmark(build_table1)
+
+    print("\nTable 1 — statistics for each application (ours vs paper):")
+    print(render_table(
+        ["App", "#tests (ours)", "#tests (paper)", "#params (ours)",
+         "#params (paper)"],
+        [[r["app"], r["tests_ours"], format(r["tests_paper"], ","),
+          r["params_ours"], r["params_paper"]] for r in rows]))
+    print("Hadoop Common library: %d params (ours) vs %d (paper)"
+          % (len(COMMON_REGISTRY),
+             catalog.PAPER_STATISTICS["hadoop-common"]["app_params"]))
+
+    by_app = {r["app"]: r for r in rows}
+    # every application has a corpus
+    assert all(r["tests_ours"] >= 4 for r in rows)
+    # Hadoop apps see Common's parameters on top of their own
+    for app in ("hdfs", "mapreduce", "yarn", "hbase"):
+        assert len(catalog.spec_for(app).registry) > len(COMMON_REGISTRY)
+    # HDFS has the largest parameter registry among Hadoop apps, as in
+    # the paper (579 of the per-app counts)
+    assert by_app["hdfs"]["params_ours"] >= by_app["mapreduce"]["params_ours"]
+    assert by_app["hdfs"]["params_ours"] >= by_app["yarn"]["params_ours"]
+    # Hadoop Tools has no parameters of its own (it reuses HDFS+Common)
+    assert catalog.PAPER_STATISTICS["hadooptools"]["app_params"] == 0

@@ -1,0 +1,38 @@
+"""Table 2: the types of nodes investigated per application.
+
+Regenerates the node-type roster from the substrate's registry and
+checks it against the paper's Table 2 exactly.
+"""
+
+from __future__ import annotations
+
+from repro.common.node import NODE_TYPES
+from repro.core.registry import load_all_suites
+from repro.core.report import render_table
+
+PAPER_TABLE2 = {
+    "flink": {"JobManager", "TaskManager"},
+    "hbase": {"HMaster", "HRegionServer", "ThriftServer", "RESTServer"},
+    "hdfs": {"NameNode", "DataNode", "SecondaryNameNode", "JournalNode",
+             "Balancer", "Mover"},
+    "mapreduce": {"MapTask", "ReduceTask", "JobHistoryServer"},
+    "yarn": {"ResourceManager", "NodeManager", "ApplicationHistoryServer"},
+}
+
+
+def collect_node_types():
+    load_all_suites()
+    return {app: set(types) for app, types in NODE_TYPES.items()
+            if app in PAPER_TABLE2}
+
+
+def test_table2_node_types(benchmark):
+    ours = benchmark(collect_node_types)
+
+    print("\nTable 2 — types of nodes investigated:")
+    print(render_table(
+        ["Application", "Node types"],
+        [[app, ", ".join(sorted(ours.get(app, set())))]
+         for app in sorted(PAPER_TABLE2)]))
+
+    assert ours == PAPER_TABLE2

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Use ZebraConf as a CI gate for heterogeneous-safety regressions.
+
+The paper observes that campaigns "do not need to be run frequently";
+the operational pattern for a project adopting ZebraConf is:
+
+1. run a campaign once and record the verdicts as a baseline;
+2. on every release candidate, re-run and diff — any *new* unsafe
+   parameter is a regression that should block the release.
+
+This example simulates that lifecycle on mini-Flink: record a baseline,
+then "develop" a regression (a new parameter whose value feeds the actor
+system's wire framing on one side only) and watch the gate trip.
+
+Run::
+
+    python examples/ci_regression_gate.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro.apps import catalog
+from repro.core import Campaign, CampaignConfig
+from repro.core.baseline import (compare_to_baseline, load_baseline,
+                                 save_baseline)
+
+
+def run_campaign():
+    spec = catalog.spec_for("flink")
+    return Campaign("flink", spec.registry, config=CampaignConfig()).run()
+
+
+def main() -> None:
+    print("release N: recording the heterogeneous-safety baseline...")
+    baseline_report = run_campaign()
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        baseline_path = handle.name
+    save_baseline(baseline_report, baseline_path)
+    print("  %d true problems recorded: %s\n"
+          % (len(baseline_report.true_problems),
+             sorted(v.param for v in baseline_report.true_problems)))
+
+    print("release N+1: re-running the campaign and diffing...")
+    fresh_report = run_campaign()
+    diff = compare_to_baseline(fresh_report, load_baseline(baseline_path))
+    print("  " + diff.render().replace("\n", "\n  "))
+    assert diff.clean
+
+    print("\nsimulating a regression: a new unsafe parameter appears in "
+          "the next release's report...")
+    tampered = load_baseline(baseline_path)
+    tampered["true_problems"].remove("akka.ssl.enabled")
+    diff = compare_to_baseline(fresh_report, tampered)
+    print("  " + diff.render().replace("\n", "\n  "))
+    assert diff.has_regressions
+    print("\nCI verdict: FAIL the build — a parameter became "
+          "heterogeneous-unsafe since the recorded baseline.")
+    print("(equivalent CLI: `python -m repro campaign flink --compare "
+          "baseline.json`, exit code 1 on regression)")
+
+
+if __name__ == "__main__":
+    main()

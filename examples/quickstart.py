@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Quickstart: find heterogeneous-unsafe parameters in a toy system.
+
+This example builds a complete (tiny) target application from scratch —
+a configuration class, a node class with the ZebraConf annotations, and
+two whole-system unit tests — and then runs a ZebraConf campaign against
+it.  One parameter is heterogeneous-unsafe by construction (two peers
+whose ``toy.codec`` disagree cannot exchange messages); the campaign
+must find exactly that one.
+
+Run::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.common.configuration import Configuration, ref_to_clone
+from repro.common.errors import DecodeError, TestFailure
+from repro.common.params import BOOL, ENUM, INT, ParamRegistry
+from repro.core import Campaign, CampaignConfig, TestContext, UnitTest
+from repro.core.confagent import current_agent
+
+# ---------------------------------------------------------------------------
+# 1. The target application: a registry, a Configuration, a node class.
+# ---------------------------------------------------------------------------
+TOY_REGISTRY = ParamRegistry("toy")
+TOY_REGISTRY.define("toy.codec", ENUM, "json", values=("json", "binary"),
+                    description="Message encoding between peers.")
+TOY_REGISTRY.define("toy.retries", INT, 3, candidates=(3, 300),
+                    description="Client retry budget (harmless).")
+TOY_REGISTRY.define("toy.verbose", BOOL, False,
+                    description="Verbose logging (harmless).")
+
+
+class ToyConfiguration(Configuration):
+    registry = TOY_REGISTRY
+
+
+class Peer:
+    """A node; note the two ZebraConf annotations (startInit/stopInit via
+    the agent, and refToCloneConf via :func:`ref_to_clone`)."""
+
+    node_type = "Peer"
+
+    def __init__(self, conf: ToyConfiguration) -> None:
+        agent = current_agent()
+        agent.start_init(self, self.node_type)
+        try:
+            self.conf = ref_to_clone(conf)
+            self.retries = self.conf.get_int("toy.retries")
+            self.verbose = self.conf.get_bool("toy.verbose")
+        finally:
+            agent.stop_init()
+
+    def send(self, peer: "Peer", message: str) -> str:
+        encoded = "%s:%s" % (self.conf.get_enum("toy.codec"), message)
+        return peer.receive(encoded)
+
+    def receive(self, wire: str) -> str:
+        codec = self.conf.get_enum("toy.codec")
+        prefix = codec + ":"
+        if not wire.startswith(prefix):
+            raise DecodeError("peer speaks %r, this node expects %s"
+                              % (wire.split(":", 1)[0], codec))
+        return wire[len(prefix):]
+
+
+# ---------------------------------------------------------------------------
+# 2. The application's existing whole-system unit tests (what ZebraConf
+#    reuses — it never writes tests of its own).
+# ---------------------------------------------------------------------------
+def test_peers_exchange(ctx: TestContext) -> None:
+    conf = ToyConfiguration()
+    first, second = Peer(conf), Peer(conf)
+    if first.send(second, "ping") != "ping":
+        raise TestFailure("message corrupted")
+    if second.send(first, "pong") != "pong":
+        raise TestFailure("reply corrupted")
+
+
+def test_retries_positive(ctx: TestContext) -> None:
+    conf = ToyConfiguration()
+    peer = Peer(conf)
+    if peer.retries <= 0:
+        raise TestFailure("retry budget must be positive")
+
+
+CORPUS = [
+    UnitTest(app="toy", name="TestPeers.testExchange", fn=test_peers_exchange),
+    UnitTest(app="toy", name="TestPeers.testRetries", fn=test_retries_positive),
+]
+
+
+# ---------------------------------------------------------------------------
+# 3. Run the campaign.
+# ---------------------------------------------------------------------------
+def main() -> None:
+    campaign = Campaign("toy", TOY_REGISTRY, tests=CORPUS,
+                        config=CampaignConfig())
+    report = campaign.run()
+
+    print("pre-run: %d tests, %d without nodes"
+          % (report.prerun_summary.total_tests,
+             report.prerun_summary.tests_without_nodes))
+    print("instance counts per stage:")
+    for stage, count in report.stage_counts.rows():
+        print("  %-32s %d" % (stage, count))
+    print()
+    for verdict in report.verdicts:
+        print("REPORTED %-12s -> %s" % (verdict.param, verdict.verdict))
+        print("  failing tests: %s" % ", ".join(verdict.failing_tests))
+        print("  sample error : %s" % verdict.sample_error)
+
+    found = {v.param for v in report.verdicts if v.is_true_problem}
+    assert found == {"toy.codec"}, found
+    print("\nOK: exactly the planted heterogeneous-unsafe parameter found.")
+
+
+if __name__ == "__main__":
+    main()

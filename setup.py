@@ -1,0 +1,7 @@
+"""Setuptools shim so `pip install -e .` works without the `wheel`
+package (this environment is offline; modern PEP-660 editable installs
+need wheel, the legacy path does not)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""ZebraConf reproduction: find heterogeneous-unsafe configuration
+parameters in (simulated) cloud systems.
+
+Public API quick tour::
+
+    from repro import run_full_campaign, CampaignConfig
+    report = run_full_campaign(CampaignConfig())
+    for app in report.apps:
+        print(app.app, [v.param for v in app.true_problems])
+
+See README.md for the architecture overview and DESIGN.md for the mapping
+from the paper's evaluation to this package.
+"""
+
+from repro.core import (CORPUS, Campaign, CampaignConfig, CampaignReport,
+                        ConfAgent, TestContext, TestGenerator, TestRunner,
+                        UnitTest, current_agent, run_full_campaign, unit_test)
+from repro.common import (Configuration, MiniCluster, Node, ParamDef,
+                          ParamRegistry, Simulator)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Campaign", "CampaignConfig", "CampaignReport", "ConfAgent", "CORPUS",
+    "Configuration", "MiniCluster", "Node", "ParamDef", "ParamRegistry",
+    "Simulator", "TestContext", "TestGenerator", "TestRunner", "UnitTest",
+    "current_agent", "run_full_campaign", "unit_test",
+]

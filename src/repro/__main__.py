@@ -1,0 +1,13 @@
+"""``python -m repro`` entry point."""
+
+import sys
+
+from repro.cli import main
+
+try:
+    code = main()
+except BrokenPipeError:
+    # output piped into a pager/head that closed early — not an error
+    sys.stderr.close()
+    code = 0
+sys.exit(code)

@@ -1,0 +1,5 @@
+"""Simulated target applications (one subpackage per system under test).
+
+Import :mod:`repro.apps.catalog` for the per-application registries,
+dependency rules, and the paper's ground-truth tables.
+"""

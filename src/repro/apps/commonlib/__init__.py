@@ -1,0 +1,7 @@
+"""Hadoop Common analogue: the parameter registry and library machinery
+shared by HDFS, MapReduce, YARN, and Hadoop Tools (Table 1: the Hadoop
+Common library has 336 parameters seen by every Hadoop application)."""
+
+from repro.apps.commonlib.params import COMMON_REGISTRY, common_ground_truth
+
+__all__ = ["COMMON_REGISTRY", "common_ground_truth"]

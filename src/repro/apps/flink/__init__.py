@@ -1,0 +1,26 @@
+"""Mini-Flink: JobManager, TaskManager, MiniFlinkCluster."""
+
+from repro.apps.flink.cluster import MiniFlinkCluster
+from repro.apps.flink.nodes import FlinkConfiguration, JobManager, TaskManager
+from repro.apps.flink.params import FLINK_REGISTRY
+from repro.apps.flink.testing import start_taskmanager_inline
+
+FlinkConfiguration.registry = FLINK_REGISTRY
+
+#: Paper ground truth (Table 3 / §7.1), used only by benches and tests.
+EXPECTED_UNSAFE = (
+    "akka.ssl.enabled",
+    "taskmanager.data.ssl.enabled",
+    "taskmanager.numberOfTaskSlots",
+)
+
+EXPECTED_FALSE_POSITIVES = (
+    "taskmanager.memory.network.fraction",
+    "taskmanager.network.detailed-metrics",
+)
+
+__all__ = [
+    "MiniFlinkCluster", "FlinkConfiguration", "JobManager", "TaskManager",
+    "FLINK_REGISTRY", "start_taskmanager_inline", "EXPECTED_UNSAFE",
+    "EXPECTED_FALSE_POSITIVES",
+]

@@ -1,0 +1,35 @@
+"""Flink MiniCluster: one JobManager plus inlined-init TaskManagers."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.apps.flink.nodes import JobManager, TaskManager
+from repro.apps.flink.testing import start_taskmanager_inline
+from repro.common.cluster import MiniCluster
+
+
+class MiniFlinkCluster(MiniCluster):
+    """In-process Flink cluster, built the way Flink's unit tests build
+    theirs (TaskManagers initialized by copied code, §7.2)."""
+
+    def __init__(self, conf: Any, num_taskmanagers: int = 2) -> None:
+        super().__init__()
+        self.conf = conf
+        self.jobmanager = self.add_node(JobManager(conf, self))
+        self.taskmanagers: List[TaskManager] = []
+        self._num_taskmanagers = num_taskmanagers
+
+    def start(self) -> None:
+        self.jobmanager.start()
+        for index in range(self._num_taskmanagers):
+            taskmanager = start_taskmanager_inline(self.conf, self,
+                                                   tm_id="tm%d" % index)
+            self.taskmanagers.append(taskmanager)
+            taskmanager.register_with(self.jobmanager)
+
+    def taskmanager(self, tm_id: str) -> Optional[TaskManager]:
+        for taskmanager in self.taskmanagers:
+            if taskmanager.tm_id == tm_id:
+                return taskmanager
+        return None

@@ -1,0 +1,68 @@
+"""A minimal Flink job: distributed word count over TaskManager slots.
+
+The job exercises the full scheduling + data-plane path: the JobManager
+allocates one slot per subtask (its own view of slot counts — Table 3:
+taskmanager.numberOfTaskSlots), mapper subtasks run on their assigned
+TaskManagers, and every shuffle partition crosses the TaskManager data
+plane (Table 3: taskmanager.data.ssl.enabled).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.common.errors import TestFailure
+
+
+def run_distributed_wordcount(cluster: Any, lines: List[str],
+                              parallelism: int) -> Dict[str, int]:
+    """Execute a two-stage (map -> keyed reduce) job; returns word counts.
+
+    Raises whatever the scheduler or data plane raises — slot allocation
+    failures, SSL record errors — exactly where a real job would fail.
+    """
+    jobmanager = cluster.jobmanager
+    allocations = jobmanager.allocate_slots(parallelism)
+
+    # stage 1: map — each subtask counts words in its slice of the input
+    mapper_outputs: List[Dict[str, int]] = []
+    for subtask, allocation in enumerate(allocations):
+        counts: Dict[str, int] = {}
+        for line in lines[subtask::parallelism]:
+            for word in line.split():
+                counts[word] = counts.get(word, 0) + 1
+        mapper_outputs.append(counts)
+
+    # stage 2: keyed shuffle — each mapper's partition for reducer r is
+    # streamed over the TaskManager data plane to r's TaskManager
+    reducers = allocations  # same slots host the reduce side
+    for subtask, counts in enumerate(mapper_outputs):
+        sender = cluster.taskmanager(allocations[subtask]["tm_id"])
+        partitions: List[List[Any]] = [[] for _ in reducers]
+        for word, count in sorted(counts.items()):
+            partitions[_partition(word, len(reducers))].append([word, count])
+        for reducer_index, records in enumerate(partitions):
+            receiver = cluster.taskmanager(reducers[reducer_index]["tm_id"])
+            sender.send_partition(receiver, records)
+
+    # reduce: merge everything that arrived on each TaskManager
+    merged: Dict[str, int] = {}
+    for taskmanager in cluster.taskmanagers:
+        for records in taskmanager.received_partitions:
+            for word, count in records:
+                merged[word] = merged.get(word, 0) + count
+    return merged
+
+
+def _partition(word: str, num_partitions: int) -> int:
+    return sum(word.encode("utf-8")) % max(num_partitions, 1)
+
+
+def assert_counts_match(actual: Dict[str, int], lines: List[str]) -> None:
+    expected: Dict[str, int] = {}
+    for line in lines:
+        for word in line.split():
+            expected[word] = expected.get(word, 0) + 1
+    if actual != expected:
+        raise TestFailure("distributed word count diverged: %d keys vs %d"
+                          % (len(actual), len(expected)))

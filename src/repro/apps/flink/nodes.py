@@ -1,0 +1,143 @@
+"""Flink nodes: JobManager (with its internal ResourceManager) and
+TaskManager, plus the actor-system and data-plane wire layers."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.common.configuration import Configuration
+from repro.common.errors import SlotAllocationError
+from repro.common.node import Node, node_init, register_node_type
+from repro.common.params import ParamRegistry
+from repro.common.wire import decode_payload, encode_payload
+
+register_node_type("flink", "JobManager")
+register_node_type("flink", "TaskManager")
+
+
+class FlinkConfiguration(Configuration):
+    """Flink's Configuration (flink-conf.yaml options)."""
+
+    registry: Optional[ParamRegistry] = None  # bound in __init__.py
+
+
+class JobManager(Node):
+    node_type = "JobManager"
+
+    def __init__(self, conf: Any, cluster: Any) -> None:
+        with node_init(self):
+            super().__init__(conf, cluster)
+            self._rpc_port = self.conf.get_int("jobmanager.rpc.port")
+            self._rest_port = self.conf.get_int("rest.port")
+            self._default_parallelism = self.conf.get_int("parallelism.default")
+            #: registered TaskManagers, in registration order.
+            self.taskmanagers: List["TaskManager"] = []
+
+    # ------------------------------------------------------------------
+    # actor-system RPC (akka.ssl.enabled)
+    # ------------------------------------------------------------------
+    def receive_akka_message(self, wire_bytes: bytes) -> Dict[str, Any]:
+        """Decode an actor message with *this JobManager's* SSL setting."""
+        message = decode_payload(
+            wire_bytes, ssl=self.conf.get_bool("akka.ssl.enabled"))
+        if message["kind"] == "register_taskmanager":
+            taskmanager = self.cluster.taskmanager(message["tm_id"])
+            self.taskmanagers.append(taskmanager)
+            return {"accepted": True, "index": len(self.taskmanagers) - 1}
+        raise ValueError("unknown actor message %r" % message["kind"])
+
+    # ------------------------------------------------------------------
+    # slot allocation (taskmanager.numberOfTaskSlots)
+    # ------------------------------------------------------------------
+    def slots_per_taskmanager(self) -> int:
+        """How many slots the JobManager *believes* each TaskManager has —
+        its own configuration value, not the TaskManagers'."""
+        return self.conf.get_int("taskmanager.numberOfTaskSlots")
+
+    def allocate_slots(self, parallelism: int) -> List[Dict[str, Any]]:
+        believed = self.slots_per_taskmanager()
+        capacity = believed * len(self.taskmanagers)
+        if parallelism > capacity:
+            raise SlotAllocationError(
+                "job needs %d slots but the JobManager sees only %d "
+                "(%d TaskManagers x %d believed slots)"
+                % (parallelism, capacity, len(self.taskmanagers), believed))
+        allocations = []
+        for subtask in range(parallelism):
+            taskmanager = self.taskmanagers[subtask // believed]
+            slot_index = subtask % believed
+            taskmanager.offer_slot(slot_index)
+            allocations.append({"tm_id": taskmanager.tm_id,
+                                "slot": slot_index})
+        return allocations
+
+
+class TaskManager(Node):
+    node_type = "TaskManager"
+
+    def __init__(self, conf: Any, cluster: Any, tm_id: str) -> None:
+        with node_init(self):
+            super().__init__(conf, cluster)
+            self.tm_id = tm_id
+            self._init_components()
+
+    def _init_components(self) -> None:
+        """Read configuration and set up slot/network state.
+
+        Kept as a separate method so Flink's test utilities — which copy
+        node initialization code into the tests instead of invoking it
+        (§7.2: 'its unit tests do not invoke the initialization functions
+        directly and instead copy the initialization code into the unit
+        test code') — can be emulated faithfully in
+        :mod:`repro.apps.flink.testing`.
+        """
+        self.num_slots = self.conf.get_int("taskmanager.numberOfTaskSlots")
+        self.occupied_slots: List[int] = []
+        self._memory_size = self.conf.get_str("taskmanager.memory.process.size")
+        self._heartbeat_interval = self.conf.get_int("heartbeat.interval")
+        self._heartbeat_timeout = self.conf.get_int("heartbeat.timeout")
+        self._state_backend = self.conf.get_str("state.backend")
+        self._tmp_dirs = self.conf.get_str("io.tmp.dirs")
+        #: internals behind the private-API false positives.
+        self._network_fraction = self.conf.get_float(
+            "taskmanager.memory.network.fraction")
+        self._detailed_metrics = self.conf.get_bool(
+            "taskmanager.network.detailed-metrics")
+        self.received_partitions: List[Any] = []
+
+    # ------------------------------------------------------------------
+    # actor-system RPC
+    # ------------------------------------------------------------------
+    def register_with(self, jobmanager: JobManager) -> Dict[str, Any]:
+        """Send the registration actor message framed with *this
+        TaskManager's* SSL setting (Table 3: akka.ssl.enabled)."""
+        wire = encode_payload({"kind": "register_taskmanager",
+                               "tm_id": self.tm_id},
+                              ssl=self.conf.get_bool("akka.ssl.enabled"))
+        return jobmanager.receive_akka_message(wire)
+
+    # ------------------------------------------------------------------
+    # slots
+    # ------------------------------------------------------------------
+    def offer_slot(self, slot_index: int) -> None:
+        if slot_index >= self.num_slots:
+            raise SlotAllocationError(
+                "JobManager requested slot %d but TaskManager %s has only "
+                "%d slots" % (slot_index, self.tm_id, self.num_slots))
+        if slot_index not in self.occupied_slots:
+            self.occupied_slots.append(slot_index)
+
+    # ------------------------------------------------------------------
+    # data plane (taskmanager.data.ssl.enabled)
+    # ------------------------------------------------------------------
+    def send_partition(self, peer: "TaskManager", records: List[Any]) -> None:
+        wire = encode_payload(
+            {"kind": "partition", "records": records},
+            ssl=self.conf.get_bool("taskmanager.data.ssl.enabled"))
+        peer.receive_partition(wire)
+
+    def receive_partition(self, wire_bytes: bytes) -> None:
+        message = decode_payload(
+            wire_bytes,
+            ssl=self.conf.get_bool("taskmanager.data.ssl.enabled"))
+        self.received_partitions.append(message["records"])

@@ -1,0 +1,65 @@
+"""Flink parameter registry (curated subset of flink-conf.yaml options).
+
+Flink is not a Hadoop application: it does not see Hadoop Common's
+parameters (Table 1) and has its own configuration class.
+"""
+
+from __future__ import annotations
+
+from repro.common.params import (BOOL, DURATION_MS, FLOAT, INT, STR,
+                                 ParamRegistry)
+
+FLINK_REGISTRY = ParamRegistry("flink")
+_d = FLINK_REGISTRY.define
+
+# ---------------------------------------------------------------------------
+# Table 3: heterogeneous-unsafe Flink parameters
+# ---------------------------------------------------------------------------
+_d("akka.ssl.enabled", BOOL, False, tags=("wire-format",),
+   description="TLS on the actor-system RPC between TaskManager and "
+               "JobManager/ResourceManager.")
+_d("taskmanager.data.ssl.enabled", BOOL, False, tags=("wire-format",),
+   description="TLS on the TaskManager data plane (shuffle partitions).")
+_d("taskmanager.numberOfTaskSlots", INT, 2, candidates=(2, 8),
+   tags=("task-count",),
+   description="Slots a TaskManager offers; the JobManager sizes its "
+               "requests with its own value.")
+
+# ---------------------------------------------------------------------------
+# parameters behind Flink's private-observability false positives (§7.1)
+# ---------------------------------------------------------------------------
+_d("taskmanager.memory.network.fraction", FLOAT, 0.1, candidates=(0.1, 0.5),
+   description="Network buffer fraction (internal; private-API FP).")
+_d("taskmanager.network.detailed-metrics", BOOL, False,
+   description="Register detailed network metrics (internal; private-API FP).")
+
+# ---------------------------------------------------------------------------
+# safe parameters read during node initialization
+# ---------------------------------------------------------------------------
+_d("jobmanager.rpc.port", INT, 6123, description="JobManager RPC port.")
+_d("rest.port", INT, 8081, description="REST/web endpoint port.")
+_d("parallelism.default", INT, 1, description="Default job parallelism.")
+_d("taskmanager.memory.process.size", STR, "1728m",
+   description="Total TaskManager process memory.")
+_d("heartbeat.interval", DURATION_MS, 10000,
+   description="Heartbeat sender cadence (read but not modelled).")
+_d("heartbeat.timeout", DURATION_MS, 50000,
+   description="Heartbeat receiver timeout (read but not modelled).")
+_d("state.backend", STR, "hashmap", description="Keyed-state backend.")
+_d("io.tmp.dirs", STR, "/tmp", description="Spill directories.")
+
+# ---------------------------------------------------------------------------
+# documented options never read by the corpus
+# ---------------------------------------------------------------------------
+_d("restart-strategy", STR, "none", description="Job restart strategy.")
+_d("jobmanager.memory.process.size", STR, "1600m",
+   description="Total JobManager process memory.")
+_d("execution.checkpointing.interval", DURATION_MS, 0,
+   description="Checkpoint cadence; 0 disables checkpoints.")
+_d("web.submit.enable", BOOL, True,
+   description="Allow job submission through the web UI.")
+_d("high-availability", STR, "NONE", description="HA services backend.")
+_d("blob.server.port", INT, 0, description="Blob server port (0 = random).")
+_d("taskmanager.host", STR, "localhost", description="TaskManager bind host.")
+_d("cluster.evenly-spread-out-slots", BOOL, False,
+   description="Spread slot allocation across TaskManagers.")

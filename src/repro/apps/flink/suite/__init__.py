@@ -1,0 +1,4 @@
+"""The Flink whole-system unit-test corpus ZebraConf reuses."""
+
+import repro.apps.flink.suite.flink_tests  # noqa: F401
+import repro.apps.flink.suite.more_flink_tests  # noqa: F401

@@ -1,0 +1,111 @@
+"""Flink corpus: registration, data plane, slot allocation, internals."""
+
+from __future__ import annotations
+
+from repro.apps.flink import FlinkConfiguration, MiniFlinkCluster
+from repro.common.errors import TestFailure
+from repro.core.registry import TestContext, unit_test
+
+
+@unit_test("flink", "TaskExecutorTest.testRegistrationWithJobManager",
+           tags=("rpc",))
+def test_taskmanager_registration(ctx: TestContext) -> None:
+    """TaskManagers register over the actor system; mismatched SSL framing
+    aborts the connection (Table 3: akka.ssl.enabled)."""
+    conf = FlinkConfiguration()
+    with MiniFlinkCluster(conf, num_taskmanagers=2) as cluster:
+        cluster.start()
+        if len(cluster.jobmanager.taskmanagers) != 2:
+            raise TestFailure("JobManager registered %d of 2 TaskManagers"
+                              % len(cluster.jobmanager.taskmanagers))
+
+
+@unit_test("flink", "NettyShuffleEnvironmentTest.testPartitionTransfer",
+           tags=("network",))
+def test_partition_transfer(ctx: TestContext) -> None:
+    """One TaskManager streams a result partition to another; mismatched
+    data-plane SSL produces an invalid TLS record (Table 3:
+    taskmanager.data.ssl.enabled)."""
+    conf = FlinkConfiguration()
+    with MiniFlinkCluster(conf, num_taskmanagers=2) as cluster:
+        cluster.start()
+        records = [ctx.rng.randrange(1000) for _ in range(50)]
+        sender, receiver = cluster.taskmanagers
+        sender.send_partition(receiver, records)
+        if receiver.received_partitions != [records]:
+            raise TestFailure("partition bytes corrupted in flight")
+
+
+@unit_test("flink", "MiniClusterITCase.testJobUsesAllSlots",
+           tags=("scheduler",))
+def test_job_uses_all_slots(ctx: TestContext) -> None:
+    """Run a job sized to the cluster capacity the *user* computes from
+    their configuration; the JobManager sizes requests with its own value
+    and the TaskManagers enforce theirs (Table 3:
+    taskmanager.numberOfTaskSlots)."""
+    conf = FlinkConfiguration()
+    with MiniFlinkCluster(conf, num_taskmanagers=2) as cluster:
+        cluster.start()
+        parallelism = conf.get_int("taskmanager.numberOfTaskSlots") * 2
+        allocations = cluster.jobmanager.allocate_slots(parallelism)
+        if len(allocations) != parallelism:
+            raise TestFailure("allocated %d of %d requested slots"
+                              % (len(allocations), parallelism))
+
+
+@unit_test("flink", "MiniClusterITCase.testClusterStarts", tags=("smoke",))
+def test_cluster_starts(ctx: TestContext) -> None:
+    conf = FlinkConfiguration()
+    with MiniFlinkCluster(conf, num_taskmanagers=3) as cluster:
+        cluster.start()
+        if len(cluster.taskmanagers) != 3:
+            raise TestFailure("cluster lost a TaskManager")
+
+
+@unit_test("flink", "NetworkBufferPoolTest.testFractionInternals",
+           observability="private", tags=("internals",),
+           notes="§7.1 FP: asserts a TaskManager-internal field against "
+                 "the test's configuration.")
+def test_network_fraction_internals(ctx: TestContext) -> None:
+    conf = FlinkConfiguration()
+    with MiniFlinkCluster(conf, num_taskmanagers=1) as cluster:
+        cluster.start()
+        expected = conf.get_float("taskmanager.memory.network.fraction")
+        if cluster.taskmanagers[0]._network_fraction != expected:
+            raise TestFailure("network buffer internals diverged from the "
+                              "test's configuration")
+
+
+@unit_test("flink", "MetricsRegistryTest.testDetailedMetricsInternals",
+           observability="private", tags=("internals",))
+def test_detailed_metrics_internals(ctx: TestContext) -> None:
+    conf = FlinkConfiguration()
+    with MiniFlinkCluster(conf, num_taskmanagers=1) as cluster:
+        cluster.start()
+        expected = conf.get_bool("taskmanager.network.detailed-metrics")
+        if cluster.taskmanagers[0]._detailed_metrics != expected:
+            raise TestFailure("metrics registration internals diverged "
+                              "from the test's configuration")
+
+
+@unit_test("flink", "CheckpointCoordinatorTest.testRacyCheckpoint",
+           flaky=True, tags=("flaky",),
+           notes="Nondeterministic: the checkpoint barrier races task "
+                 "shutdown ~20% of trials.")
+def test_racy_checkpoint(ctx: TestContext) -> None:
+    conf = FlinkConfiguration()
+    with MiniFlinkCluster(conf, num_taskmanagers=2) as cluster:
+        cluster.start()
+        if ctx.maybe(0.2):
+            raise TestFailure("checkpoint barrier raced task shutdown and "
+                              "lost (timing-dependent)")
+
+
+@unit_test("flink", "ConfigurationTest.testOptionDefaults", tags=("util",))
+def test_option_defaults(ctx: TestContext) -> None:
+    """Node-free configuration sanity checks, filtered by the pre-run."""
+    conf = FlinkConfiguration()
+    if conf.get_int("taskmanager.numberOfTaskSlots") <= 0:
+        raise TestFailure("non-positive default slot count")
+    if conf.get_int("rest.port") != 8081:
+        raise TestFailure("unexpected default REST port")

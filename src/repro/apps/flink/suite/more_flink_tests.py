@@ -1,0 +1,61 @@
+"""Flink corpus: additional scheduling and data-plane scenarios."""
+
+from __future__ import annotations
+
+from repro.apps.flink import FlinkConfiguration, MiniFlinkCluster
+from repro.common.errors import SlotAllocationError, TestFailure
+from repro.core.registry import TestContext, unit_test
+
+
+@unit_test("flink", "SlotPoolTest.testSingleTaskManagerCapacity",
+           tags=("scheduler",))
+def test_single_taskmanager_capacity(ctx: TestContext) -> None:
+    """A job sized exactly to one TaskManager's slots (per the user's
+    configuration) must schedule; one slot more must be rejected."""
+    conf = FlinkConfiguration()
+    with MiniFlinkCluster(conf, num_taskmanagers=1) as cluster:
+        cluster.start()
+        slots = conf.get_int("taskmanager.numberOfTaskSlots")
+        allocations = cluster.jobmanager.allocate_slots(parallelism=slots)
+        if len(allocations) != slots:
+            raise TestFailure("scheduled %d of %d subtasks"
+                              % (len(allocations), slots))
+        try:
+            cluster.jobmanager.allocate_slots(parallelism=slots + 1)
+        except SlotAllocationError:
+            pass
+        else:
+            raise TestFailure("over-subscription was not rejected")
+
+
+@unit_test("flink", "WordCountITCase.testDistributedExecution",
+           tags=("job",))
+def test_distributed_wordcount(ctx: TestContext) -> None:
+    """A whole job: scheduling across slots + keyed shuffle over the
+    TaskManager data plane, with the result checked end to end."""
+    from repro.apps.flink.jobs import assert_counts_match, run_distributed_wordcount
+    conf = FlinkConfiguration()
+    with MiniFlinkCluster(conf, num_taskmanagers=2) as cluster:
+        cluster.start()
+        words = ["term%02d" % ctx.rng.randrange(30) for _ in range(200)]
+        lines = [" ".join(words[i:i + 8]) for i in range(0, len(words), 8)]
+        parallelism = conf.get_int("taskmanager.numberOfTaskSlots") * 2
+        counts = run_distributed_wordcount(cluster, lines, parallelism)
+        assert_counts_match(counts, lines)
+
+
+@unit_test("flink", "NettyShuffleEnvironmentTest.testAllToAllTransfer",
+           tags=("network",))
+def test_all_to_all_transfer(ctx: TestContext) -> None:
+    conf = FlinkConfiguration()
+    with MiniFlinkCluster(conf, num_taskmanagers=3) as cluster:
+        cluster.start()
+        for sender in cluster.taskmanagers:
+            for receiver in cluster.taskmanagers:
+                if sender is not receiver:
+                    sender.send_partition(receiver, [sender.tm_id])
+        for taskmanager in cluster.taskmanagers:
+            if len(taskmanager.received_partitions) != 2:
+                raise TestFailure("%s received %d of 2 partitions"
+                                  % (taskmanager.tm_id,
+                                     len(taskmanager.received_partitions)))

@@ -1,0 +1,13 @@
+"""Hadoop Tools: DistCp and HadoopArchive (no parameters of their own —
+Table 1 — but their tests exercise Hadoop Common and HDFS parameters)."""
+
+from repro.apps.hadooptools.tools import DistCp, HadoopArchive
+
+#: Parameters this campaign is expected to surface (they belong to
+#: Hadoop Common / HDFS; Hadoop Tools has none of its own).
+EXPECTED_UNSAFE_VIA_TOOLS = (
+    "hadoop.rpc.protection",
+    "ipc.client.rpc-timeout.ms",
+)
+
+__all__ = ["DistCp", "HadoopArchive", "EXPECTED_UNSAFE_VIA_TOOLS"]

@@ -1,0 +1,3 @@
+"""The Hadoop Tools unit-test corpus ZebraConf reuses."""
+
+import repro.apps.hadooptools.suite.tools_tests  # noqa: F401

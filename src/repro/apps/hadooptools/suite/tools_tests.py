@@ -1,0 +1,85 @@
+"""Hadoop Tools corpus: DistCp and HadoopArchive over mini-HDFS."""
+
+from __future__ import annotations
+
+from repro.apps.hadooptools import DistCp, HadoopArchive
+from repro.apps.hdfs import DFSClient, HdfsConfiguration, MiniDFSCluster
+from repro.common.errors import TestFailure
+from repro.core.registry import TestContext, unit_test
+
+
+@unit_test("hadooptools", "TestDistCp.testLargeListingCopy",
+           tags=("tools", "timeout"))
+def test_distcp_large_listing(ctx: TestContext) -> None:
+    """DistCp's source enumeration is a long-running NameNode RPC; the
+    tool enforces its own read deadline while the server paces keepalives
+    by its own (Table 3: ipc.client.rpc-timeout.ms)."""
+    conf = HdfsConfiguration()
+    with MiniDFSCluster(conf, num_datanodes=2) as cluster:
+        cluster.start()
+        dfs = DFSClient(conf, cluster)
+        payloads = {}
+        for index in range(3):
+            name = "src%02d" % index
+            payloads[name] = ("data-%d-" % index).encode("utf-8") * 20
+            dfs.write_file("/distcp/src/%s" % name, payloads[name],
+                           replication=1)
+        copied = DistCp(conf, cluster).run("/distcp/src", "/distcp/dst")
+        if len(copied) != 3:
+            raise TestFailure("DistCp copied %d of 3 files" % len(copied))
+        for name, payload in payloads.items():
+            if dfs.read_file("/distcp/dst/%s" % name) != payload:
+                raise TestFailure("DistCp corrupted %s" % name)
+        cluster.check_health()
+
+
+@unit_test("hadooptools", "TestHadoopArchive.testArchiveRoundTrip",
+           tags=("tools",))
+def test_hadoop_archive_round_trip(ctx: TestContext) -> None:
+    conf = HdfsConfiguration()
+    with MiniDFSCluster(conf, num_datanodes=1) as cluster:
+        cluster.start()
+        dfs = DFSClient(conf, cluster)
+        payloads = {}
+        for index in range(4):
+            name = "file%02d" % index
+            payloads[name] = bytes(ctx.rng.randrange(256)
+                                   for _ in range(256 + index))
+            dfs.write_file("/har/in/%s" % name, payloads[name], replication=1)
+        tool = HadoopArchive(conf, cluster)
+        index_map = tool.archive("/har/in", "/har/out.har")
+        for name, payload in payloads.items():
+            if tool.extract("/har/out.har", index_map, name) != payload:
+                raise TestFailure("archive entry %s corrupted" % name)
+        cluster.check_health()
+
+
+@unit_test("hadooptools", "TestDistCp.testEmptySourceDirectory",
+           tags=("tools", "timeout"))
+def test_distcp_empty_source(ctx: TestContext) -> None:
+    """The listing RPC still runs long even when the tree is empty."""
+    conf = HdfsConfiguration()
+    with MiniDFSCluster(conf, num_datanodes=1) as cluster:
+        cluster.start()
+        DFSClient(conf, cluster).mkdirs("/empty/src")
+        copied = DistCp(conf, cluster).run("/empty/src", "/empty/dst")
+        if copied:
+            raise TestFailure("copied files out of an empty directory")
+        cluster.check_health()
+
+
+@unit_test("hadooptools", "TestToolRunner.testArgumentSplitting",
+           tags=("util",))
+def test_tool_runner_args(ctx: TestContext) -> None:
+    """Node-free helper test, filtered by the pre-run."""
+    args = "-update -p /a /b".split()
+    flags = [a for a in args if a.startswith("-")]
+    if flags != ["-update", "-p"]:
+        raise TestFailure("argument splitting broke")
+
+
+@unit_test("hadooptools", "TestDistCpOptions.testDefaults", tags=("util",))
+def test_distcp_option_defaults(ctx: TestContext) -> None:
+    conf = HdfsConfiguration()
+    if conf.get_int("ipc.client.rpc-timeout.ms") < 0:
+        raise TestFailure("negative default rpc timeout")

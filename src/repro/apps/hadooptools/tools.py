@@ -1,0 +1,77 @@
+"""Hadoop Tools: DistCp and HadoopArchive over (mini-)HDFS.
+
+Hadoop Tools have no parameters of their own (Table 1) but exercise
+Hadoop Common and HDFS machinery — notably the long-running listing RPC
+inside DistCp, which is where ``ipc.client.rpc-timeout.ms`` bites: the
+tool enforces *its* read deadline while the NameNode paces keepalives by
+its own idea of the timeout.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Dict, List
+
+from repro.apps.hdfs.client import DFSClient
+from repro.common.errors import ChecksumError
+from repro.common.ipc import RpcClient
+
+#: simulated seconds the NameNode needs to enumerate a big source tree.
+LISTING_DURATION_S = 300.0
+
+
+class DistCp:
+    """Distributed copy: long listing RPC, then per-file copy."""
+
+    def __init__(self, conf: Any, cluster: Any) -> None:
+        self.conf = conf
+        self.cluster = cluster
+        self.rpc = RpcClient(conf, ipc=cluster.ipc)
+        self.dfs = DFSClient(conf, cluster)
+
+    def run(self, source_dir: str, target_dir: str) -> List[str]:
+        """Copy every file under ``source_dir`` to ``target_dir``."""
+        names = self.cluster.sim.run_process(
+            self.rpc.call_timed(self.cluster.namenode.rpc, "list_dir",
+                                (source_dir,), duration=LISTING_DURATION_S),
+            name="distcp-listing")
+        copied = []
+        for name in names:
+            data = self.dfs.read_file("%s/%s" % (source_dir, name))
+            target = "%s/%s" % (target_dir, name)
+            self.dfs.write_file(target, data, replication=1)
+            copied.append(target)
+        return copied
+
+
+class HadoopArchive:
+    """har archiver: bundle a directory into one file plus an index."""
+
+    def __init__(self, conf: Any, cluster: Any) -> None:
+        self.conf = conf
+        self.cluster = cluster
+        self.rpc = RpcClient(conf, ipc=cluster.ipc)
+        self.dfs = DFSClient(conf, cluster)
+
+    def archive(self, source_dir: str, archive_path: str) -> Dict[str, Any]:
+        names = self.rpc.call(self.cluster.namenode.rpc, "list_dir",
+                              source_dir)
+        blob = bytearray()
+        index: Dict[str, Any] = {}
+        for name in names:
+            data = self.dfs.read_file("%s/%s" % (source_dir, name))
+            index[name] = {"offset": len(blob), "length": len(data),
+                           "crc": zlib.crc32(data) & 0xFFFFFFFF}
+            blob.extend(data)
+        self.dfs.write_file(archive_path, bytes(blob), replication=1)
+        return index
+
+    def extract(self, archive_path: str, index: Dict[str, Any],
+                name: str) -> bytes:
+        blob = self.dfs.read_file(archive_path)
+        entry = index[name]
+        data = blob[entry["offset"]:entry["offset"] + entry["length"]]
+        if (zlib.crc32(data) & 0xFFFFFFFF) != entry["crc"]:
+            raise ChecksumError("archive entry %s failed crc verification"
+                                % name)
+        return data

@@ -1,0 +1,25 @@
+"""Mini-HBase: HMaster, HRegionServer, ThriftServer, RESTServer over an
+embedded mini-HDFS."""
+
+from repro.apps.hbase.cluster import MiniHBaseCluster, ThriftAdmin
+from repro.apps.hbase.conf import HBaseConfiguration
+from repro.apps.hbase.nodes import (HMaster, HRegionServer, RESTServer,
+                                    ThriftServer)
+from repro.apps.hbase.params import HBASE_FULL_REGISTRY, HBASE_REGISTRY
+
+#: Paper ground truth (Table 3 / §7.1), used only by benches and tests.
+EXPECTED_UNSAFE = (
+    "hbase.regionserver.thrift.compact",
+    "hbase.regionserver.thrift.framed",
+)
+
+EXPECTED_FALSE_POSITIVES = (
+    "hbase.hregion.max.filesize",
+    "hbase.regionserver.msginterval",
+)
+
+__all__ = [
+    "MiniHBaseCluster", "ThriftAdmin", "HBaseConfiguration", "HMaster",
+    "HRegionServer", "RESTServer", "ThriftServer", "HBASE_FULL_REGISTRY",
+    "HBASE_REGISTRY", "EXPECTED_UNSAFE", "EXPECTED_FALSE_POSITIVES",
+]

@@ -1,0 +1,90 @@
+"""MiniHBaseCluster: HBase nodes plus the embedded mini-HDFS they run on."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.apps.hbase.nodes import HMaster, HRegionServer, RESTServer, ThriftServer
+from repro.apps.hbase.thrift import thrift_decode, thrift_encode
+from repro.apps.hdfs.datanode import DataNode
+from repro.apps.hdfs.namenode import NameNode
+from repro.common.cluster import MiniCluster
+
+
+class MiniHBaseCluster(MiniCluster):
+    """HMaster + RegionServers (+ Thrift/REST) over an embedded one-node
+    HDFS, all inside this process and built from the test's conf."""
+
+    def __init__(self, conf: Any, num_regionservers: int = 2,
+                 with_thrift: bool = False, with_rest: bool = False) -> None:
+        super().__init__()
+        self.conf = conf
+        # embedded HDFS substrate (HBase stores its WALs/HFiles there)
+        self.namenode = self.add_node(NameNode(conf, self))
+        self.datanodes: List[DataNode] = [
+            self.add_node(DataNode(conf, self, dn_id="dn0"))]
+        # HBase daemons
+        self.master = self.add_node(HMaster(conf, self))
+        self.regionservers: List[HRegionServer] = []
+        for index in range(num_regionservers):
+            self.regionservers.append(self.add_node(
+                HRegionServer(conf, self, rs_id="rs%d" % index)))
+        self.thrift_server: Optional[ThriftServer] = None
+        if with_thrift:
+            self.thrift_server = self.add_node(ThriftServer(conf, self))
+        self.rest_server: Optional[RESTServer] = None
+        if with_rest:
+            self.rest_server = self.add_node(RESTServer(conf, self))
+
+    # -- the HDFS-cluster protocol DFSClient/DataNode expect --------------
+    def datanode(self, dn_id: str) -> Optional[DataNode]:
+        for node in self.datanodes:
+            if node.dn_id == dn_id:
+                return node
+        return None
+
+    def fail_datanode(self, dn_id: str) -> None:  # pragma: no cover - unused
+        node = self.datanode(dn_id)
+        if node is not None:
+            node.stop()
+
+    def regionserver(self, rs_id: str) -> Optional[HRegionServer]:
+        for node in self.regionservers:
+            if node.rs_id == rs_id:
+                return node
+        return None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.namenode.start()
+        for node in self.datanodes:
+            node.start()
+        self.master.start()
+        for node in self.regionservers:
+            node.start()
+        if self.thrift_server is not None:
+            self.thrift_server.start()
+        if self.rest_server is not None:
+            self.rest_server.start()
+
+
+class ThriftAdmin:
+    """Client-side Thrift wrapper; frames requests per the *test's* conf."""
+
+    def __init__(self, conf: Any, cluster: MiniHBaseCluster) -> None:
+        self.conf = conf
+        self.cluster = cluster
+
+    def _roundtrip(self, request: Any) -> Any:
+        compact = self.conf.get_bool("hbase.regionserver.thrift.compact")
+        framed = self.conf.get_bool("hbase.regionserver.thrift.framed")
+        wire = thrift_encode(request, compact=compact, framed=framed)
+        reply = self.cluster.thrift_server.serve(wire)
+        return thrift_decode(reply, compact=compact, framed=framed)
+
+    def put(self, table: str, row: str, value: str) -> Any:
+        return self._roundtrip({"op": "put", "table": table, "row": row,
+                                "value": value})
+
+    def get(self, table: str, row: str) -> Any:
+        return self._roundtrip({"op": "get", "table": table, "row": row})

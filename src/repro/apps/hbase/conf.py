@@ -1,0 +1,13 @@
+"""HBase-flavoured Configuration bound to the merged HBase registry."""
+
+from __future__ import annotations
+
+from repro.apps.hbase.params import HBASE_FULL_REGISTRY
+from repro.common.configuration import Configuration
+
+
+class HBaseConfiguration(Configuration):
+    """``Configuration`` with hbase-default + hdfs-default + core-default
+    defaults (HBase runs on HDFS)."""
+
+    registry = HBASE_FULL_REGISTRY

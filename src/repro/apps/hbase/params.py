@@ -1,0 +1,76 @@
+"""HBase parameter registry (curated subset of hbase-default.xml).
+
+HBase runs on HDFS, so its effective registry merges hbase-default with
+hdfs-default and core-default — the paper notes that an HBase campaign
+also tests HDFS NameNode/DataNode parameters (§7.2).
+"""
+
+from __future__ import annotations
+
+from repro.apps.commonlib.params import COMMON_REGISTRY
+from repro.apps.hdfs.params import HDFS_REGISTRY
+from repro.common.params import (BOOL, DURATION_MS, INT, SIZE, STR,
+                                 ParamRegistry)
+
+HBASE_REGISTRY = ParamRegistry("hbase")
+_d = HBASE_REGISTRY.define
+
+# ---------------------------------------------------------------------------
+# Table 3: heterogeneous-unsafe HBase parameters
+# ---------------------------------------------------------------------------
+_d("hbase.regionserver.thrift.compact", BOOL, False, tags=("wire-format",),
+   description="Use the Thrift compact protocol on the ThriftServer.")
+_d("hbase.regionserver.thrift.framed", BOOL, False, tags=("wire-format",),
+   description="Use the framed Thrift transport on the ThriftServer.")
+
+# ---------------------------------------------------------------------------
+# parameters behind HBase's false positives (§7.1)
+# ---------------------------------------------------------------------------
+_d("hbase.hregion.max.filesize", SIZE, 10 * 1024 ** 3,
+   candidates=(10 * 1024 ** 3, 1024 ** 3),
+   description="Region split threshold (the unrealistic-test FP: a test "
+               "opens a region directly on the RegionServer).")
+_d("hbase.regionserver.msginterval", DURATION_MS, 3000,
+   candidates=(3000, 300000),
+   description="RegionServer status-message cadence (internal; the HBase "
+               "private-API FP).")
+
+# ---------------------------------------------------------------------------
+# safe parameters read by nodes
+# ---------------------------------------------------------------------------
+_d("hbase.regionserver.handler.count", INT, 30,
+   description="RPC handlers per RegionServer.")
+_d("hbase.client.retries.number", INT, 15,
+   description="Client operation retry budget.")
+_d("hbase.hregion.memstore.flush.size", SIZE, 128 * 1024 * 1024,
+   description="Memstore flush threshold.")
+_d("hbase.master.port", INT, 16000, description="HMaster RPC port.")
+_d("hbase.regionserver.thrift.port", INT, 9090,
+   description="ThriftServer port.")
+_d("hbase.rest.port", INT, 8080, description="RESTServer port.")
+_d("hbase.zookeeper.quorum", STR, "localhost",
+   description="ZooKeeper ensemble.")
+_d("hbase.balancer.period", DURATION_MS, 300000,
+   description="Master balancer cadence.")
+
+# ---------------------------------------------------------------------------
+# documented parameters never read by the corpus
+# ---------------------------------------------------------------------------
+_d("hbase.table.max.rowsize", SIZE, 1024 * 1024 * 1024,
+   description="Largest row returnable to a client.")
+_d("hbase.hstore.blockingStoreFiles", INT, 16,
+   description="Store files that block flushes.")
+_d("hbase.hstore.compactionThreshold", INT, 3,
+   description="Store files triggering compaction.")
+_d("hbase.regionserver.logroll.period", DURATION_MS, 3600000,
+   description="WAL roll cadence.")
+_d("hbase.master.logcleaner.ttl", DURATION_MS, 600000,
+   description="Retention for WALs awaiting replication.")
+_d("hbase.client.scanner.caching", INT, 2147483647,
+   description="Rows fetched per scanner RPC.")
+_d("hbase.security.authentication", STR, "simple",
+   description="HBase authentication mode.")
+
+#: HBase sees HDFS's and Hadoop Common's parameters too.
+HBASE_FULL_REGISTRY = HBASE_REGISTRY.merged_with(HDFS_REGISTRY,
+                                                 COMMON_REGISTRY)

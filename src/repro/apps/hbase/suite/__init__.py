@@ -1,0 +1,4 @@
+"""The HBase whole-system unit-test corpus ZebraConf reuses."""
+
+import repro.apps.hbase.suite.hbase_tests  # noqa: F401
+import repro.apps.hbase.suite.more_hbase_tests  # noqa: F401

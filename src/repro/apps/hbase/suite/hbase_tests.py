@@ -1,0 +1,104 @@
+"""HBase corpus: Thrift round trips, table ops over HDFS, FP sources."""
+
+from __future__ import annotations
+
+from repro.apps.hbase import HBaseConfiguration, MiniHBaseCluster, ThriftAdmin
+from repro.common.errors import TestFailure
+from repro.core.registry import TestContext, unit_test
+
+
+@unit_test("hbase", "TestThriftServer.testPutGetRoundTrip",
+           tags=("thrift",))
+def test_thrift_put_get(ctx: TestContext) -> None:
+    """A ThriftAdmin talks to the ThriftServer; protocol and transport
+    framing come from each side's own configuration (Table 3:
+    hbase.regionserver.thrift.compact / .framed)."""
+    conf = HBaseConfiguration()
+    with MiniHBaseCluster(conf, num_regionservers=2,
+                          with_thrift=True) as cluster:
+        cluster.start()
+        cluster.master.create_table("thrift_table")
+        admin = ThriftAdmin(conf, cluster)
+        admin.put("thrift_table", "row1", "value1")
+        reply = admin.get("thrift_table", "row1")
+        if reply.get("value") != "value1":
+            raise TestFailure("thrift round trip lost the value: %r" % reply)
+
+
+@unit_test("hbase", "TestAdmin.testCreateTableAndPut", tags=("master",))
+def test_create_table_and_put(ctx: TestContext) -> None:
+    """Create a table (the master persists its procedure WAL on the
+    embedded HDFS) and read/write through region location."""
+    conf = HBaseConfiguration()
+    with MiniHBaseCluster(conf, num_regionservers=2) as cluster:
+        cluster.start()
+        regions = cluster.master.create_table("usertable", num_regions=4)
+        if len(regions) != 4:
+            raise TestFailure("expected 4 regions, got %d" % len(regions))
+        server = cluster.master.locate_region("usertable", "alpha")
+        server.put("alpha", "1")
+        if cluster.master.locate_region("usertable", "alpha").get("alpha") != "1":
+            raise TestFailure("row lost after region location")
+        cluster.check_health()
+
+
+@unit_test("hbase", "TestRegionServer.testDirectOpenRegion",
+           realistic=False, tags=("internals",),
+           notes="§7.1 FP: 'an HBase test directly opens a new region on "
+                 "HRegionServer ... with the client's configuration "
+                 "object' — impossible through a real RPC.")
+def test_direct_open_region(ctx: TestContext) -> None:
+    conf = HBaseConfiguration()
+    with MiniHBaseCluster(conf, num_regionservers=1) as cluster:
+        cluster.start()
+        # Direct in-process call with the *client's* configured split size.
+        cluster.regionservers[0].open_region(
+            "direct,region-0",
+            expected_split_size=conf.get_int("hbase.hregion.max.filesize"))
+
+
+@unit_test("hbase", "TestRegionServerMetrics.testMsgIntervalInternals",
+           observability="private", tags=("internals",))
+def test_msg_interval_internals(ctx: TestContext) -> None:
+    conf = HBaseConfiguration()
+    with MiniHBaseCluster(conf, num_regionservers=1) as cluster:
+        cluster.start()
+        expected = conf.get_int("hbase.regionserver.msginterval")
+        if cluster.regionservers[0]._msg_interval != expected:
+            raise TestFailure("status-message cadence internals diverged "
+                              "from the test's configuration")
+
+
+@unit_test("hbase", "TestRESTServer.testClusterStatus", tags=("rest",))
+def test_rest_status(ctx: TestContext) -> None:
+    conf = HBaseConfiguration()
+    with MiniHBaseCluster(conf, num_regionservers=2,
+                          with_rest=True) as cluster:
+        cluster.start()
+        status = cluster.rest_server.http.handle("http", "/status/cluster")
+        if status["regionservers"] != 2:
+            raise TestFailure("REST status lost a RegionServer")
+
+
+@unit_test("hbase", "TestAssignmentManager.testRacyAssignment", flaky=True,
+           tags=("flaky",),
+           notes="Nondeterministic: assignment races the master ~20% of "
+                 "trials.")
+def test_racy_assignment(ctx: TestContext) -> None:
+    conf = HBaseConfiguration()
+    with MiniHBaseCluster(conf, num_regionservers=2) as cluster:
+        cluster.start()
+        cluster.master.create_table("racy_table")
+        if ctx.maybe(0.2):
+            raise TestFailure("region assignment raced the master restart "
+                              "and lost (timing-dependent)")
+
+
+@unit_test("hbase", "TestHBaseConfiguration.testDefaults", tags=("util",))
+def test_hbase_conf_defaults(ctx: TestContext) -> None:
+    """Node-free configuration sanity checks, filtered by the pre-run."""
+    conf = HBaseConfiguration()
+    if conf.get_bool("hbase.regionserver.thrift.compact"):
+        raise TestFailure("compact protocol should default off")
+    if conf.get_int("hbase.rest.port") != 8080:
+        raise TestFailure("unexpected REST port default")

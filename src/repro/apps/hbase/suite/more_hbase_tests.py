@@ -1,0 +1,62 @@
+"""HBase corpus: additional master and thrift scenarios."""
+
+from __future__ import annotations
+
+from repro.apps.hbase import HBaseConfiguration, MiniHBaseCluster, ThriftAdmin
+from repro.common.errors import TestFailure
+from repro.core.registry import TestContext, unit_test
+
+
+@unit_test("hbase", "TestMaster.testMultipleTables", tags=("master",))
+def test_multiple_tables(ctx: TestContext) -> None:
+    conf = HBaseConfiguration()
+    with MiniHBaseCluster(conf, num_regionservers=3) as cluster:
+        cluster.start()
+        for name in ("users", "events", "metrics"):
+            regions = cluster.master.create_table(name, num_regions=3)
+            if len(regions) != 3:
+                raise TestFailure("table %s got %d regions" % (name,
+                                                               len(regions)))
+        hosted = sum(len(rs.regions) for rs in cluster.regionservers)
+        if hosted != 9:
+            raise TestFailure("RegionServers host %d of 9 regions" % hosted)
+        cluster.check_health()
+
+
+@unit_test("hbase", "TestWALDurability.testRegionWALsOnHDFS",
+           tags=("regionserver",))
+def test_region_wals_on_hdfs(ctx: TestContext) -> None:
+    """Every hosted region rolls a WAL segment on the embedded HDFS, and
+    mutations land in the WAL tail before the memstore acks."""
+    conf = HBaseConfiguration()
+    with MiniHBaseCluster(conf, num_regionservers=2) as cluster:
+        cluster.start()
+        cluster.master.create_table("durable", num_regions=2)
+        for server in cluster.regionservers:
+            for region in server.regions:
+                path = "/hbase/WALs/%s/%s" % (server.rs_id, region)
+                if not cluster.namenode.namespace.exists(path):
+                    raise TestFailure("missing WAL segment %s" % path)
+        server = cluster.master.locate_region("durable", "rowX")
+        server.put("rowX", "v1")
+        if "rowX=v1" not in server.wal_entries:
+            raise TestFailure("mutation missing from the WAL tail")
+        cluster.check_health()
+
+
+@unit_test("hbase", "TestThriftServer.testManyRoundTrips", tags=("thrift",))
+def test_thrift_many_round_trips(ctx: TestContext) -> None:
+    conf = HBaseConfiguration()
+    with MiniHBaseCluster(conf, num_regionservers=2,
+                          with_thrift=True) as cluster:
+        cluster.start()
+        cluster.master.create_table("bulk")
+        admin = ThriftAdmin(conf, cluster)
+        rows = {"row%02d" % i: "value%02d" % ctx.rng.randrange(100)
+                for i in range(10)}
+        for row, value in rows.items():
+            admin.put("bulk", row, value)
+        for row, value in rows.items():
+            reply = admin.get("bulk", row)
+            if reply.get("value") != value:
+                raise TestFailure("thrift lost %s" % row)

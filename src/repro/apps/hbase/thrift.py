@@ -1,0 +1,59 @@
+"""Thrift protocol/transport framing for the HBase ThriftServer.
+
+Two independent wire decisions back the two Table-3 HBase parameters:
+
+* protocol — *compact* vs *binary* encodings carry different magics
+  (``hbase.regionserver.thrift.compact``);
+* transport — *framed* transport adds a length-prefixed frame header
+  (``hbase.regionserver.thrift.framed``).
+
+A ThriftAdmin client encodes per its own configuration; the ThriftServer
+decodes per its own, so either mismatch yields a real
+:class:`~repro.common.errors.DecodeError` — "Thrift Admin fails to
+communicate with Thrift Server".
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any
+
+from repro.common.errors import DecodeError
+
+_COMPACT_MAGIC = b"TCPB"
+_BINARY_MAGIC = b"TBIN"
+_FRAME_MAGIC = b"FRMD"
+
+
+def thrift_encode(payload: Any, compact: bool, framed: bool) -> bytes:
+    magic = _COMPACT_MAGIC if compact else _BINARY_MAGIC
+    body = magic + json.dumps(payload, sort_keys=True).encode("utf-8")
+    if framed:
+        return _FRAME_MAGIC + struct.pack(">I", len(body)) + body
+    return body
+
+
+def thrift_decode(data: bytes, compact: bool, framed: bool) -> Any:
+    if framed:
+        if not data.startswith(_FRAME_MAGIC):
+            raise DecodeError("framed transport expected a frame header, "
+                              "got %r" % data[:4])
+        (length,) = struct.unpack(">I", data[4:8])
+        body = data[8:]
+        if len(body) != length:
+            raise DecodeError("frame length %d does not match body %d"
+                              % (length, len(body)))
+    else:
+        if data.startswith(_FRAME_MAGIC):
+            raise DecodeError("unframed transport cannot parse a framed "
+                              "message")
+        body = data
+    expected = _COMPACT_MAGIC if compact else _BINARY_MAGIC
+    if not body.startswith(expected):
+        raise DecodeError("protocol mismatch: expected %r, got %r"
+                          % (expected, body[:4]))
+    try:
+        return json.loads(body[len(expected):].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise DecodeError("thrift payload parse failed: %s" % exc)

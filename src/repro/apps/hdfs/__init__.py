@@ -1,0 +1,56 @@
+"""Mini-HDFS: NameNode, DataNode, Balancer, Mover, JournalNode,
+SecondaryNameNode, DFSClient, and the MiniDFSCluster test harness."""
+
+from repro.apps.hdfs.balancer import Balancer, Mover
+from repro.apps.hdfs.client import DFSClient, run_fsck
+from repro.apps.hdfs.dfsadmin import DFSAdmin, ReconfigurationError
+from repro.apps.hdfs.cluster import MiniDFSCluster
+from repro.apps.hdfs.conf import HdfsConfiguration
+from repro.apps.hdfs.datanode import DataNode
+from repro.apps.hdfs.journal import JournalNode, SecondaryNameNode
+from repro.apps.hdfs.namenode import NameNode
+from repro.apps.hdfs.params import (HDFS_DEPENDENCY_RULES, HDFS_FULL_REGISTRY,
+                                    HDFS_REGISTRY)
+
+#: Paper ground truth (Table 3 / §7.1), used only by benches and tests.
+EXPECTED_UNSAFE = (
+    "dfs.block.access.token.enable",
+    "dfs.bytes-per-checksum",
+    "dfs.blockreport.incremental.intervalMsec",
+    "dfs.checksum.type",
+    "dfs.client.block.write.replace-datanode-on-failure.enable",
+    "dfs.client.socket-timeout",
+    "dfs.datanode.balance.bandwidthPerSec",
+    "dfs.datanode.balance.max.concurrent.moves",
+    "dfs.datanode.du.reserved",
+    "dfs.data.transfer.protection",
+    "dfs.encrypt.data.transfer",
+    "dfs.ha.tail-edits.in-progress",
+    "dfs.heartbeat.interval",
+    "dfs.http.policy",
+    "dfs.namenode.fs-limits.max-component-length",
+    "dfs.namenode.fs-limits.max-directory-items",
+    "dfs.namenode.heartbeat.recheck-interval",
+    "dfs.namenode.max-corrupt-file-blocks-returned",
+    "dfs.namenode.snapshotdiff.allow.snap-root-descendant",
+    "dfs.namenode.stale.datanode.interval",
+    "dfs.namenode.upgrade.domain.factor",
+)
+
+#: Parameters whose reports the paper classified as false positives.
+EXPECTED_FALSE_POSITIVES = (
+    "dfs.image.compress",
+    "dfs.datanode.max.transfer.threads",
+    "dfs.namenode.replication.work.multiplier.per.iteration",
+    "dfs.namenode.safemode.threshold-pct",
+    "dfs.datanode.directoryscan.interval",
+    "dfs.namenode.path.based.cache.refresh.interval.ms",
+)
+
+__all__ = [
+    "Balancer", "Mover", "DFSClient", "run_fsck", "DFSAdmin",
+    "ReconfigurationError", "MiniDFSCluster",
+    "HdfsConfiguration", "DataNode", "JournalNode", "SecondaryNameNode",
+    "NameNode", "HDFS_DEPENDENCY_RULES", "HDFS_FULL_REGISTRY", "HDFS_REGISTRY",
+    "EXPECTED_UNSAFE", "EXPECTED_FALSE_POSITIVES",
+]

@@ -1,0 +1,205 @@
+"""DFSClient and the DFSck tool.
+
+A DFSClient is *not* a node: in whole-system unit tests the client role
+is played by the unit test itself (§6.1), so the client's configuration
+object belongs to the unit test and ZebraConf's UNIT_TEST pseudo-group
+controls its values.  Every client-side decision — checksum parameters,
+encryption, SASL level, socket timeouts, block size, the http scheme
+DFSck uses — is read from the client's own configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.apps.hdfs.datatransfer import open_envelope, seal_envelope
+from repro.common.errors import HandshakeError
+from repro.common.httpserver import http_get
+from repro.common.ipc import RpcClient
+from repro.common.wire import compute_checksums, verify_checksums
+
+
+class DFSClient:
+    """Client-side HDFS API used by the corpus unit tests."""
+
+    def __init__(self, conf: Any, cluster: Any) -> None:
+        self.conf = conf
+        self.cluster = cluster
+        self.rpc = RpcClient(conf, ipc=cluster.ipc)
+
+    # ------------------------------------------------------------------
+    # namespace
+    # ------------------------------------------------------------------
+    def _nn(self) -> Any:
+        return self.cluster.namenode.rpc
+
+    def mkdirs(self, path: str) -> bool:
+        return self.rpc.call(self._nn(), "mkdirs", path)
+
+    def delete(self, path: str) -> int:
+        return self.rpc.call(self._nn(), "delete", path)
+
+    def rename(self, src: str, dst: str) -> bool:
+        return self.rpc.call(self._nn(), "rename", src, dst)
+
+    def shell_remove(self, path: str, skip_trash: bool = False) -> str:
+        """``hdfs dfs -rm``: honours *this client's* ``fs.trash.interval``
+        — with trash enabled the path is moved into the user's trash
+        directory instead of being deleted (as Hadoop's FsShell does; the
+        FileSystem.delete API itself never consults trash)."""
+        interval = self.conf.get_int("fs.trash.interval")
+        if skip_trash or interval <= 0:
+            self.delete(path)
+            return "deleted"
+        trash_path = "/user/.Trash/Current" + path
+        self.rename(path, trash_path)
+        return trash_path
+
+    def get_stats(self) -> Dict[str, Any]:
+        return self.rpc.call(self._nn(), "get_stats")
+
+    def report_bad_blocks(self, block_ids: List[int]) -> bool:
+        return self.rpc.call(self._nn(), "report_bad_blocks", block_ids)
+
+    def list_corrupt_file_blocks(self) -> List[int]:
+        return self.rpc.call(self._nn(), "list_corrupt_file_blocks")
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+    def allow_snapshot(self, path: str) -> bool:
+        return self.rpc.call(self._nn(), "allow_snapshot", path)
+
+    def create_snapshot(self, path: str, name: str) -> bool:
+        return self.rpc.call(self._nn(), "create_snapshot", path, name)
+
+    def snapshot_diff(self, snapshot_root: str, scope_path: str,
+                      from_snapshot: str) -> List[str]:
+        """Request a snapshot diff, scoping it the way *this client's*
+        configuration says is allowed (Table 3:
+        dfs.namenode.snapshotdiff.allow.snap-root-descendant)."""
+        if not self.conf.get_bool(
+                "dfs.namenode.snapshotdiff.allow.snap-root-descendant"):
+            scope_path = snapshot_root
+        return self.rpc.call(self._nn(), "snapshot_diff",
+                             snapshot_root, scope_path, from_snapshot)
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def _encryption_key(self) -> Optional[Dict[str, Any]]:
+        """The data encryption key, if this client encrypts transfers."""
+        if not self.conf.get_bool("dfs.encrypt.data.transfer"):
+            return None
+        key = self.rpc.call(self._nn(), "get_data_encryption_key")
+        if key is None:
+            raise HandshakeError(
+                "client requires encrypted data transfer but the NameNode "
+                "issued no data encryption key")
+        return key
+
+    def write_file(self, path: str, data: bytes, replication: int = 2,
+                   fail_pipeline_at: Optional[int] = None) -> List[int]:
+        """Write a file through a DataNode pipeline; returns its block ids.
+
+        ``fail_pipeline_at`` injects a DataNode failure at that pipeline
+        index before streaming, triggering the replace-datanode-on-failure
+        recovery path.
+        """
+        self.rpc.call(self._nn(), "create_file", path, replication)
+        block_size = self.conf.get_int("dfs.blocksize")
+        block_ids: List[int] = []
+        for offset in range(0, max(len(data), 1), block_size):
+            chunk = data[offset:offset + block_size]
+            block_ids.append(self._write_block(path, chunk, replication,
+                                               fail_pipeline_at))
+            fail_pipeline_at = None  # inject at most one failure
+        return block_ids
+
+    def _write_block(self, path: str, data: bytes, replication: int,
+                     fail_pipeline_at: Optional[int]) -> int:
+        located = self.rpc.call(self._nn(), "add_block", path, len(data),
+                                replication)
+        pipeline: List[str] = list(located["pipeline"])
+        if fail_pipeline_at is not None and pipeline:
+            index = min(fail_pipeline_at, len(pipeline) - 1)
+            failed = pipeline[index]
+            if self.conf.get_bool(
+                    "dfs.client.block.write.replace-datanode-on-failure.enable"):
+                replacement = self.rpc.call(self._nn(),
+                                            "get_additional_datanode", pipeline)
+                pipeline[index] = replacement
+            else:
+                pipeline.pop(index)
+            self.cluster.fail_datanode(failed)
+        writer_bpc = self.conf.get_int("dfs.bytes-per-checksum")
+        writer_ctype = self.conf.get_enum("dfs.checksum.type")
+        checksums = compute_checksums(data, writer_bpc, writer_ctype)
+        request = {
+            "block_id": located["block_id"],
+            "sender_protection": self.conf.get_enum("dfs.data.transfer.protection"),
+            "token": located["token"],
+            # the writer's checksum parameters travel with the data; a
+            # cluster opting into the §7.3 "embed parameter values in the
+            # communication" remediation verifies with these instead of
+            # its own configuration
+            "envelope": seal_envelope({"data": data.hex(),
+                                       "checksums": checksums,
+                                       "writer_bpc": writer_bpc,
+                                       "writer_checksum_type": writer_ctype},
+                                      self._encryption_key()),
+            "pipeline": pipeline[1:],
+        }
+        self.cluster.datanode(pipeline[0]).receive_block(request)
+        return located["block_id"]
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def read_file(self, path: str) -> bytes:
+        """Read a file back, verifying checksums with this client's
+        parameters and decoding with this client's encryption settings."""
+        blocks = self.rpc.call(self._nn(), "get_block_locations", path)
+        expect_encrypted = self.conf.get_bool("dfs.encrypt.data.transfer")
+        key = self._encryption_key()
+        out = bytearray()
+        for block in blocks:
+            if not block["locations"]:
+                raise HandshakeError("block %d has no live replica"
+                                     % block["block_id"])
+            datanode = self.cluster.datanode(block["locations"][0])
+            response = datanode.transfer_block(
+                block["block_id"],
+                client_protection=self.conf.get_enum("dfs.data.transfer.protection"),
+                client_timeout_ms=self.conf.get_int("dfs.client.socket-timeout"),
+                token=block.get("token"))
+            payload = open_envelope(response["envelope"], expect_encrypted,
+                                    key_lookup=_single_key_lookup(key))
+            data = bytes.fromhex(payload["data"])
+            if getattr(self.cluster, "embed_wire_metadata", False) \
+                    and payload.get("writer_bpc") is not None:
+                verify_checksums(data, payload["checksums"],
+                                 payload["writer_bpc"],
+                                 payload["writer_checksum_type"])
+            else:
+                verify_checksums(data, payload["checksums"],
+                                 self.conf.get_int("dfs.bytes-per-checksum"),
+                                 self.conf.get_enum("dfs.checksum.type"))
+            out.extend(data)
+        return bytes(out)
+
+
+def _single_key_lookup(key: Optional[Dict[str, Any]]):
+    def lookup(key_id: int) -> bytes:
+        if key is None or key["key_id"] != key_id:
+            raise HandshakeError(
+                "client cannot re-compute encryption key %d: block key is "
+                "missing" % key_id)
+        return bytes.fromhex(key["material"])
+    return lookup
+
+
+def run_fsck(conf: Any, namenode: Any) -> Dict[str, Any]:
+    """The DFSck tool: contact the NameNode web UI using the scheme *this
+    tool's* configuration selects (Table 3: dfs.http.policy)."""
+    return http_get(namenode.http, conf.get_enum("dfs.http.policy"), "/fsck")

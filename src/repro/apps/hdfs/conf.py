@@ -1,0 +1,14 @@
+"""HDFS-flavoured Configuration bound to the merged HDFS registry."""
+
+from __future__ import annotations
+
+from repro.apps.hdfs.params import HDFS_FULL_REGISTRY
+from repro.common.configuration import Configuration
+
+
+class HdfsConfiguration(Configuration):
+    """``Configuration`` whose defaults come from hdfs-default.xml +
+    core-default.xml (Table 1: HDFS applications see Hadoop Common's
+    parameters too)."""
+
+    registry = HDFS_FULL_REGISTRY

@@ -1,0 +1,310 @@
+"""The DataNode: block storage, heartbeats, data transfer, balancing ops.
+
+Reads every parameter through its own configuration object, so a
+heterogeneously-configured DataNode genuinely disagrees with its peers
+about checksums, encryption, SASL protection, heartbeat cadence, reserved
+space, incremental-report batching, balancing bandwidth, and concurrent
+move limits — the DataNode-side Table-3 behaviours.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.apps.hdfs.datatransfer import open_envelope, seal_envelope
+from repro.common.errors import NodeStateError, SocketTimeout
+from repro.common.ipc import RpcClient
+from repro.common.network import BandwidthThrottler
+from repro.common.node import Node, node_init, register_node_type
+from repro.common.security import (BlockToken, BlockTokenVerifier,
+                                   DataEncryptionKey, DataEncryptionKeyStore)
+from repro.common.simulation import PeriodicTask
+from repro.common.wire import negotiate_sasl, verify_checksums
+
+register_node_type("hdfs", "DataNode")
+
+#: default raw capacity per simulated DataNode volume.
+DEFAULT_CAPACITY = 100 * 1024 ** 3
+
+
+class DataNode(Node):
+    node_type = "DataNode"
+
+    def __init__(self, conf: Any, cluster: Any, dn_id: str,
+                 capacity: int = DEFAULT_CAPACITY,
+                 upgrade_domain: str = "ud-default") -> None:
+        with node_init(self):
+            super().__init__(conf, cluster)
+            self.dn_id = dn_id
+            self.capacity = capacity
+            self.upgrade_domain = upgrade_domain
+
+            self.token_verifier = BlockTokenVerifier(
+                self.conf.get_bool("dfs.block.access.token.enable"))
+            self.key_store = DataEncryptionKeyStore(
+                self.conf.get_bool("dfs.encrypt.data.transfer"))
+            from repro.apps.hdfs.conf import HdfsConfiguration
+            self.rpc_client = RpcClient(
+                self.conf, ipc=cluster.ensure_ipc(HdfsConfiguration))
+
+            #: blocks stored locally: block_id -> {"data": bytes, "checksums": [...]}.
+            self.storage: Dict[int, Dict[str, Any]] = {}
+            self.used = 0
+
+            # balancing machinery
+            self.balance_throttler = BandwidthThrottler(
+                self.sim, rate_fn=lambda: self.conf.get_int(
+                    "dfs.datanode.balance.bandwidthPerSec"))
+            self.active_moves = 0
+            self.declined_moves = 0
+            self._critical_throttler: Optional[BandwidthThrottler] = None
+
+            # batched incremental block reports
+            self._pending_deletion_reports: List[int] = []
+            self._ibr_flush_scheduled = False
+
+            # plain init-time reads (safe parameters feeding the pools)
+            self._handler_count = self.conf.get_int("dfs.datanode.handler.count")
+            self._data_dir = self.conf.get_str("dfs.datanode.data.dir")
+            self._sync_behind_writes = self.conf.get_bool(
+                "dfs.datanode.sync.behind.writes")
+            self._drop_cache_behind_reads = self.conf.get_bool(
+                "dfs.datanode.drop.cache.behind.reads")
+            self._scan_period_hours = self.conf.get_int(
+                "dfs.datanode.scan.period.hours")
+
+            # internals behind false positives
+            self._directoryscan_interval = self.conf.get_int(
+                "dfs.datanode.directoryscan.interval")
+            self._max_transfer_threads = self.conf.get_int(
+                "dfs.datanode.max.transfer.threads")
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def namenode(self) -> Any:
+        return self.cluster.namenode
+
+    def start(self) -> None:
+        super().start()
+        response = self.rpc_client.call(
+            self.namenode.rpc, "register_datanode",
+            self.dn_id, self.capacity, self.upgrade_domain)
+        self.token_verifier.install_keys(response["block_keys"])
+        key = response["encryption_key"]
+        if key is not None:
+            self.key_store.install(DataEncryptionKey(
+                key["key_id"], bytes.fromhex(key["material"])))
+        self.add_periodic(PeriodicTask(
+            self.sim,
+            interval_fn=lambda: float(self.conf.get_int("dfs.heartbeat.interval")),
+            callback=self._send_heartbeat))
+        self.add_periodic(PeriodicTask(
+            self.sim,
+            interval_fn=lambda: self.conf.get_int(
+                "dfs.blockreport.intervalMsec") / 1000.0,
+            callback=self._send_full_block_report))
+
+    def _reserved(self) -> int:
+        return self.conf.get_int("dfs.datanode.du.reserved")
+
+    def remaining(self) -> int:
+        return max(self.capacity - self._reserved() - self.used, 0)
+
+    def _send_heartbeat(self) -> None:
+        if not self.running:
+            return
+        response = self.rpc_client.call(self.namenode.rpc, "heartbeat",
+                                        self.dn_id, self.remaining())
+        key = response.get("encryption_key") if isinstance(response, dict) \
+            else None
+        if key is not None:
+            self.key_store.install(DataEncryptionKey(
+                key["key_id"], bytes.fromhex(key["material"])))
+
+    def _send_full_block_report(self) -> None:
+        """Periodic full block report: the reconciliation path that lets
+        the NameNode learn about replicas it missed."""
+        if not self.running:
+            return
+        self.rpc_client.call(self.namenode.rpc, "full_block_report",
+                             self.dn_id, sorted(self.storage))
+
+    # ------------------------------------------------------------------
+    # write path (DataTransferProtocol)
+    # ------------------------------------------------------------------
+    def receive_block(self, request: Dict[str, Any]) -> None:
+        """Receive one block from a client or upstream pipeline DataNode.
+
+        The request carries the *sender's* SASL level and encryption
+        envelope; everything is checked with *this node's* configuration.
+        """
+        self.ensure_running()
+        negotiate_sasl(request["sender_protection"],
+                       self.conf.get_enum("dfs.data.transfer.protection"),
+                       what="data transfer")
+        token = request.get("token")
+        self.token_verifier.verify(
+            None if token is None else BlockToken(token["block_id"],
+                                                  token["key_id"]),
+            request["block_id"])
+        payload = open_envelope(request["envelope"],
+                                expect_encrypted=self.key_store.enabled,
+                                key_lookup=self.key_store.lookup)
+        data = bytes.fromhex(payload["data"])
+        if getattr(self.cluster, "embed_wire_metadata", False) \
+                and "writer_bpc" in payload:
+            # §7.3 remediation: trust the parameters embedded with the
+            # data instead of this node's configuration file
+            verify_checksums(data, payload["checksums"],
+                             payload["writer_bpc"],
+                             payload["writer_checksum_type"])
+        else:
+            verify_checksums(data, payload["checksums"],
+                             self.conf.get_int("dfs.bytes-per-checksum"),
+                             self.conf.get_enum("dfs.checksum.type"))
+        self.storage[request["block_id"]] = {
+            "data": data, "checksums": list(payload["checksums"]),
+            "writer_bpc": payload.get("writer_bpc"),
+            "writer_checksum_type": payload.get("writer_checksum_type")}
+        self.used += len(data)
+        self.rpc_client.call(self.namenode.rpc, "block_received",
+                             self.dn_id, request["block_id"])
+        pipeline = list(request.get("pipeline", []))
+        if pipeline:
+            next_dn = self.cluster.datanode(pipeline[0])
+            next_dn.receive_block(self._forward_request(request, payload,
+                                                        pipeline[1:]))
+
+    def _forward_request(self, request: Dict[str, Any], payload: Dict[str, Any],
+                         rest: List[str]) -> Dict[str, Any]:
+        """Re-frame the block with *this node's* settings for the next hop."""
+        key = self.key_store.current if self.key_store.enabled else None
+        return {
+            "block_id": request["block_id"],
+            "sender_protection": self.conf.get_enum("dfs.data.transfer.protection"),
+            "token": request.get("token"),
+            "envelope": seal_envelope(payload, None if key is None else {
+                "key_id": key.key_id, "material": key.material.hex()}),
+            "pipeline": rest,
+        }
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def transfer_block(self, block_id: int, client_protection: str,
+                       client_timeout_ms: int,
+                       token: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+        """Serve a block read.
+
+        Pacing model: this DataNode emits stream keepalives every half of
+        *its own* ``dfs.client.socket-timeout``; a client whose deadline
+        is shorter than that gap times out (Table 3:
+        dfs.client.socket-timeout).
+        """
+        self.ensure_running()
+        negotiate_sasl(client_protection,
+                       self.conf.get_enum("dfs.data.transfer.protection"),
+                       what="data transfer")
+        self.token_verifier.verify(
+            None if token is None else BlockToken(token["block_id"],
+                                                  token["key_id"]),
+            block_id)
+        pacing_ms = self.conf.get_int("dfs.client.socket-timeout") / 2
+        if 0 < client_timeout_ms < pacing_ms:
+            raise SocketTimeout(
+                "client read deadline %dms elapsed before the DataNode's "
+                "%.0fms stream pacing produced bytes"
+                % (client_timeout_ms, pacing_ms))
+        replica = self.storage.get(block_id)
+        if replica is None:
+            raise NodeStateError("%s has no replica of block %d"
+                                 % (self.dn_id, block_id))
+        key = self.key_store.current if self.key_store.enabled else None
+        return {
+            "envelope": seal_envelope(
+                {"data": replica["data"].hex(),
+                 "checksums": replica["checksums"],
+                 "writer_bpc": replica.get("writer_bpc"),
+                 "writer_checksum_type": replica.get("writer_checksum_type")},
+                None if key is None else {"key_id": key.key_id,
+                                          "material": key.material.hex()}),
+        }
+
+    # ------------------------------------------------------------------
+    # deletions and incremental block reports
+    # ------------------------------------------------------------------
+    def schedule_block_deletion(self, block_id: int) -> None:
+        replica = self.storage.pop(block_id, None)
+        if replica is not None:
+            self.used -= len(replica["data"])
+        interval_ms = self.conf.get_int("dfs.blockreport.incremental.intervalMsec")
+        if interval_ms <= 0:
+            self.rpc_client.call(self.namenode.rpc, "incremental_block_report",
+                                 self.dn_id, [block_id])
+            return
+        self._pending_deletion_reports.append(block_id)
+        if not self._ibr_flush_scheduled:
+            self._ibr_flush_scheduled = True
+            self.sim.schedule(interval_ms / 1000.0, self._flush_ibr)
+
+    def _flush_ibr(self) -> None:
+        self._ibr_flush_scheduled = False
+        if not self.running or not self._pending_deletion_reports:
+            return
+        batch, self._pending_deletion_reports = self._pending_deletion_reports, []
+        self.rpc_client.call(self.namenode.rpc, "incremental_block_report",
+                             self.dn_id, batch)
+
+    # ------------------------------------------------------------------
+    # balancing support (used by repro.apps.hdfs.balancer)
+    # ------------------------------------------------------------------
+    def try_acquire_move_slot(self) -> bool:
+        """Accept or decline a balancer block-move request (Table 3:
+        dfs.datanode.balance.max.concurrent.moves)."""
+        self.ensure_running()
+        limit = self.conf.get_int("dfs.datanode.balance.max.concurrent.moves")
+        if self.active_moves >= limit:
+            self.declined_moves += 1
+            return False
+        self.active_moves += 1
+        return True
+
+    def release_move_slot(self) -> None:
+        self.active_moves = max(self.active_moves - 1, 0)
+
+    def send_paced(self, nbytes: int) -> Generator:
+        """Pace outgoing balancing traffic with this node's bandwidth cap."""
+        yield from self.balance_throttler.acquire(nbytes)
+
+    def absorb_burst(self, nbytes: int) -> None:
+        """Account for balancing bytes that already arrived on the wire."""
+        self.balance_throttler.force_debit(nbytes)
+
+    def send_when_clear(self) -> Generator:
+        """Wait until the bandwidth deficit is repaid before transmitting
+        (progress reports queue behind the deficit — the bandwidthPerSec
+        case study)."""
+        yield from self.balance_throttler.wait_until_clear()
+
+    def send_critical(self, nbytes: int, reserve_fraction: float) -> Generator:
+        """§7.3 remediation: send critical traffic (progress reports,
+        heartbeats) through a reserved slice of the bandwidth cap instead
+        of queueing behind the balancing deficit ("each node should
+        reserve a small fraction of bandwidth for critical traffic")."""
+        if self._critical_throttler is None:
+            self._critical_throttler = BandwidthThrottler(
+                self.sim, rate_fn=lambda: max(
+                    reserve_fraction * self.conf.get_int(
+                        "dfs.datanode.balance.bandwidthPerSec"), 1.0))
+        yield from self._critical_throttler.acquire(nbytes)
+
+    # ------------------------------------------------------------------
+    # private hook used by the unrealistic-test false positive
+    # ------------------------------------------------------------------
+    def _admit_transfers(self, count: int) -> None:
+        if count > self._max_transfer_threads:
+            raise NodeStateError(
+                "%s: %d transfers exceed dfs.datanode.max.transfer.threads=%d"
+                % (self.dn_id, count, self._max_transfer_threads))

@@ -1,0 +1,54 @@
+"""HDFS data-transfer protocol helpers: encryption envelopes.
+
+Block payloads travel in an *envelope* that states whether the body is
+encrypted and under which key id.  Senders seal with their own settings;
+receivers open with theirs — a receiver expecting encryption fails on a
+plaintext stream, and a receiver without the announced key cannot
+"re-compute" it (the paper's dfs.encrypt.data.transfer failure mode).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.common.errors import HandshakeError
+from repro.common.wire import decode_payload, encode_payload
+
+
+def seal_envelope(payload: Dict[str, Any],
+                  encryption_key: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    """Seal a block payload with the *sender's* encryption settings.
+
+    ``encryption_key`` is ``{"key_id": int, "material": hex}`` or ``None``
+    for a plaintext stream.
+    """
+    if encryption_key is None:
+        body = encode_payload(payload)
+        return {"encrypted": False, "key_id": None, "body": body.hex()}
+    material = bytes.fromhex(encryption_key["material"])
+    body = encode_payload(payload, encryption_key=material)
+    return {"encrypted": True, "key_id": encryption_key["key_id"],
+            "body": body.hex()}
+
+
+def open_envelope(envelope: Dict[str, Any], expect_encrypted: bool,
+                  key_lookup: Callable[[int], bytes]) -> Dict[str, Any]:
+    """Open an envelope with the *receiver's* settings.
+
+    ``key_lookup`` maps a key id to key material, raising
+    :class:`~repro.common.errors.HandshakeError` when the receiver never
+    obtained that key (e.g. its NameNode has encryption disabled).
+    """
+    body = bytes.fromhex(envelope["body"])
+    if expect_encrypted and not envelope["encrypted"]:
+        raise HandshakeError(
+            "receiver requires encrypted data transfer but the peer sent "
+            "a plaintext block stream")
+    if envelope["encrypted"]:
+        if not expect_encrypted:
+            # A node unaware of encryption reads the stream as plaintext
+            # and fails on the garbled bytes (DecodeError).
+            return decode_payload(body)
+        material = key_lookup(envelope["key_id"])
+        return decode_payload(body, encryption_key=material)
+    return decode_payload(body)

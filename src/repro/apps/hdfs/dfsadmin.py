@@ -1,0 +1,93 @@
+"""DFSAdmin: HDFS's online-reconfiguration surface.
+
+The paper's motivation leans on exactly this machinery: "HDFS parameter
+dfs.datanode.balance.bandwidthPerSec was made online reconfigurable
+starting from HDFS 0.20" (HDFS-2202) and "since version 2.9.0, HDFS has
+supported reconfiguring dfs.heartbeat.interval at run time with its
+reconfiguration interface hdfs dfsadmin -reconfig namenode" (HDFS-1477).
+Online reconfiguration is what creates *short-term* heterogeneous
+configurations in homogeneous clusters.
+
+Only whitelisted parameters may be reconfigured at run time; the lists
+below follow the HDFS properties the paper cites.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.common.errors import ReproError
+
+
+class ReconfigurationError(ReproError):
+    """The parameter is not online-reconfigurable on that node type."""
+
+
+#: run-time reconfigurable properties per node type (per HDFS-1477/2202).
+RECONFIGURABLE = {
+    "NameNode": frozenset({
+        "dfs.heartbeat.interval",
+        "dfs.namenode.heartbeat.recheck-interval",
+    }),
+    "DataNode": frozenset({
+        "dfs.datanode.balance.bandwidthPerSec",
+        "dfs.datanode.balance.max.concurrent.moves",
+        "dfs.heartbeat.interval",
+    }),
+}
+
+
+class DFSAdmin:
+    """The ``hdfs dfsadmin`` tool, scoped to the paper-relevant commands."""
+
+    def __init__(self, conf: Any, cluster: Any) -> None:
+        self.conf = conf
+        self.cluster = cluster
+
+    # ------------------------------------------------------------------
+    # hdfs dfsadmin -reconfig <namenode|datanode> ...
+    # ------------------------------------------------------------------
+    def reconfig(self, node: Any, param: str, value: Any) -> None:
+        """Reconfigure one live node; refuses non-reconfigurable params."""
+        allowed = RECONFIGURABLE.get(node.node_type, frozenset())
+        if param not in allowed:
+            raise ReconfigurationError(
+                "%s does not support reconfiguring %r at run time "
+                "(reconfigurable: %s)"
+                % (node.node_type, param, ", ".join(sorted(allowed)) or "none"))
+        node.ensure_running()
+        node.conf.set(param, value)
+
+    def reconfig_namenode(self, param: str, value: Any) -> None:
+        self.reconfig(self.cluster.namenode, param, value)
+
+    def reconfig_datanode(self, dn_id: str, param: str, value: Any) -> None:
+        datanode = self.cluster.datanode(dn_id)
+        if datanode is None:
+            raise ReconfigurationError("no such DataNode %r" % dn_id)
+        self.reconfig(datanode, param, value)
+
+    # ------------------------------------------------------------------
+    # hdfs dfsadmin -setBalancerBandwidth <bytes per second>
+    # ------------------------------------------------------------------
+    def set_balancer_bandwidth(self, bytes_per_second: int) -> int:
+        """HDFS-2202: push a new balancing bandwidth to every DataNode
+        ("the optimal value of the bandwidthPerSec parameter is not
+        always (almost never) known at the time of cluster startup")."""
+        updated = 0
+        for datanode in self.cluster.datanodes:
+            if datanode.running:
+                datanode.conf.set("dfs.datanode.balance.bandwidthPerSec",
+                                  bytes_per_second)
+                updated += 1
+        return updated
+
+    # ------------------------------------------------------------------
+    # hdfs dfsadmin -report
+    # ------------------------------------------------------------------
+    def report(self) -> Dict[str, Any]:
+        from repro.apps.hdfs.client import DFSClient
+        return DFSClient(self.conf, self.cluster).get_stats()
+
+    def list_reconfigurable(self, node_type: str) -> List[str]:
+        return sorted(RECONFIGURABLE.get(node_type, frozenset()))

@@ -1,0 +1,85 @@
+"""JournalNode and SecondaryNameNode.
+
+The JournalNode stores edit-log segments for HA NameNodes and backs the
+Table-3 parameter ``dfs.ha.tail-edits.in-progress``: a standby NameNode
+may only fetch the *in-progress* segment when the JournalNode's own
+configuration allows serving it — a standby configured to ask for
+in-progress edits is declined by a JournalNode configured not to serve
+them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from repro.common.errors import RpcError
+from repro.common.ipc import RpcServer
+from repro.common.node import Node, node_init, register_node_type
+
+register_node_type("hdfs", "SecondaryNameNode")
+register_node_type("hdfs", "JournalNode")
+
+
+class JournalNode(Node):
+    node_type = "JournalNode"
+
+    def __init__(self, conf: Any, cluster: Any, jn_id: str = "jn0") -> None:
+        with node_init(self):
+            super().__init__(conf, cluster)
+            self.jn_id = jn_id
+            #: finalized segments, flattened: list of (txid, edit).
+            self.finalized: List[Tuple[int, List[Any]]] = []
+            #: the currently open segment.
+            self.in_progress: List[Tuple[int, List[Any]]] = []
+            self.rpc = RpcServer("JournalNode-%s" % jn_id, self.conf)
+            self.rpc.register("journal", self.journal)
+            self.rpc.register("finalize_segment", self.finalize_segment)
+            self.rpc.register("get_journaled_edits", self.get_journaled_edits)
+
+    def journal(self, txid: int, edit: List[Any]) -> bool:
+        self.in_progress.append((txid, edit))
+        return True
+
+    def finalize_segment(self) -> bool:
+        self.finalized.extend(self.in_progress)
+        self.in_progress = []
+        return True
+
+    def get_journaled_edits(self, from_txid: int,
+                            include_in_progress: bool) -> List[Tuple[int, List[Any]]]:
+        """Serve edits from ``from_txid`` on.
+
+        Serving the in-progress segment is gated on *this JournalNode's*
+        configuration (Table 3: dfs.ha.tail-edits.in-progress).
+        """
+        if include_in_progress and not self.conf.get_bool(
+                "dfs.ha.tail-edits.in-progress"):
+            raise RpcError(
+                "JournalNode %s declines request to fetch in-progress "
+                "journaled edits (dfs.ha.tail-edits.in-progress is false)"
+                % self.jn_id)
+        edits = list(self.finalized)
+        if include_in_progress:
+            edits.extend(self.in_progress)
+        return [(txid, edit) for txid, edit in edits if txid >= from_txid]
+
+
+class SecondaryNameNode(Node):
+    """Periodically checkpoints the active NameNode's image."""
+
+    node_type = "SecondaryNameNode"
+
+    def __init__(self, conf: Any, cluster: Any) -> None:
+        with node_init(self):
+            super().__init__(conf, cluster)
+            self._checkpoint_period = self.conf.get_int(
+                "dfs.namenode.checkpoint.period")
+            self._checkpoint_txns = self.conf.get_int(
+                "dfs.namenode.checkpoint.txns")
+            self.checkpoints: List[bytes] = []
+
+    def do_checkpoint(self) -> bytes:
+        """Pull an fsimage from the active NameNode and retain it."""
+        image = self.cluster.namenode.save_image()
+        self.checkpoints.append(image)
+        return image

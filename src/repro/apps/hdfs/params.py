@@ -1,0 +1,195 @@
+"""HDFS parameter registry (curated subset of hdfs-default.xml).
+
+Contains every HDFS parameter from the paper's Table 3 (21 true
+heterogeneous-unsafe parameters), the parameters behind HDFS's share of
+the false positives (§7.1: private-API inconsistencies, the unrealistic
+direct-manipulation test, and the overly strict fsimage-length
+assertion), plus companion and safe parameters.  Candidate values are
+chosen per §4: default, much larger, much smaller, and documented enums.
+"""
+
+from __future__ import annotations
+
+from repro.apps.commonlib.params import COMMON_REGISTRY
+from repro.common.params import (BOOL, DURATION_MS, DURATION_S, ENUM, FLOAT,
+                                 INT, SIZE, STR, ParamRegistry)
+from repro.core.testgen import DependencyRule
+
+HDFS_REGISTRY = ParamRegistry("hdfs")
+_d = HDFS_REGISTRY.define
+
+# ---------------------------------------------------------------------------
+# Table 3: heterogeneous-unsafe HDFS parameters
+# ---------------------------------------------------------------------------
+_d("dfs.block.access.token.enable", BOOL, False, tags=("wire-format",),
+   description="Require block access tokens; DataNodes need the NameNode's keys.")
+_d("dfs.bytes-per-checksum", SIZE, 512, candidates=(512, 4096, 16),
+   tags=("wire-format",),
+   description="Checksum chunk size; readers recompute with their own value.")
+_d("dfs.checksum.type", ENUM, "CRC32", values=("CRC32", "CRC32C", "NULL"),
+   tags=("wire-format",),
+   description="Checksum algorithm for block data.")
+_d("dfs.blockreport.incremental.intervalMsec", DURATION_MS, 0,
+   candidates=(0, 300000), tags=("inconsistency",),
+   description="Delay before incremental block reports; 0 sends immediately.")
+_d("dfs.client.block.write.replace-datanode-on-failure.enable", BOOL, True,
+   description="Ask the NameNode for a replacement DataNode on pipeline failure.")
+_d("dfs.client.socket-timeout", DURATION_MS, 60000,
+   candidates=(60000, 500, 6000000), tags=("timeout",),
+   description="Client read deadline on DataNode streams.")
+_d("dfs.datanode.balance.bandwidthPerSec", SIZE, 10 * 1024 * 1024,
+   candidates=(10 * 1024 * 1024, 1000 * 1024 * 1024, 100 * 1024),
+   description="Bandwidth each DataNode may spend on balancing traffic.")
+_d("dfs.datanode.balance.max.concurrent.moves", INT, 50, candidates=(50, 1),
+   description="Concurrent block moves a DataNode serves for the Balancer.")
+_d("dfs.datanode.du.reserved", SIZE, 0, candidates=(0, 10 * 1024 ** 3),
+   tags=("inconsistency",),
+   description="Bytes per volume excluded from reported capacity.")
+_d("dfs.data.transfer.protection", ENUM, "authentication",
+   values=("authentication", "integrity", "privacy"), tags=("wire-format",),
+   description="SASL QOP for the data-transfer protocol.")
+_d("dfs.encrypt.data.transfer", BOOL, False, tags=("wire-format",),
+   description="Encrypt block data in flight using NameNode-issued keys.")
+_d("dfs.ha.tail-edits.in-progress", BOOL, False,
+   description="Allow standby NameNodes to tail in-progress edit segments.")
+_d("dfs.heartbeat.interval", DURATION_S, 3, candidates=(3, 3000),
+   tags=("heartbeat",),
+   description="Seconds between DataNode heartbeats.")
+_d("dfs.http.policy", ENUM, "HTTP_ONLY",
+   values=("HTTP_ONLY", "HTTPS_ONLY", "HTTP_AND_HTTPS"), tags=("wire-format",),
+   description="Schemes served by (and used against) HDFS web endpoints.")
+_d("dfs.namenode.fs-limits.max-component-length", INT, 255,
+   candidates=(255, 25, 25500), tags=("max-limit",),
+   description="Longest allowed path component name.")
+_d("dfs.namenode.fs-limits.max-directory-items", INT, 1048576,
+   candidates=(1048576, 8), tags=("max-limit",),
+   description="Most entries one directory may hold.")
+_d("dfs.namenode.heartbeat.recheck-interval", DURATION_MS, 300000,
+   candidates=(300000, 3000000, 3000), tags=("inconsistency", "heartbeat"),
+   description="Cadence of the NameNode's dead-DataNode sweep.")
+_d("dfs.namenode.max-corrupt-file-blocks-returned", INT, 100,
+   candidates=(100, 1, 10000), tags=("inconsistency",),
+   description="Cap on corrupt blocks returned per listing call.")
+_d("dfs.namenode.snapshotdiff.allow.snap-root-descendant", BOOL, True,
+   description="Allow snapshot diffs scoped to descendants of the snapshot root.")
+_d("dfs.namenode.stale.datanode.interval", DURATION_MS, 30000,
+   candidates=(30000, 3000000), tags=("inconsistency", "heartbeat"),
+   description="Silence after which a DataNode is considered stale.")
+_d("dfs.namenode.upgrade.domain.factor", INT, 3, candidates=(3, 1),
+   description="Distinct upgrade domains required per block's replicas.")
+
+# ---------------------------------------------------------------------------
+# parameters behind HDFS's false positives (§7.1)
+# ---------------------------------------------------------------------------
+_d("dfs.image.compress", BOOL, False,
+   description="Compress the fsimage (the overly-strict-assertion FP).")
+_d("dfs.datanode.max.transfer.threads", INT, 4096, candidates=(4096, 8),
+   description="DataXceiver thread cap (the unrealistic-test FP).")
+_d("dfs.namenode.replication.work.multiplier.per.iteration", INT, 2,
+   candidates=(2, 200),
+   description="Replication work scheduled per heartbeat round (private FP).")
+_d("dfs.namenode.safemode.threshold-pct", FLOAT, 0.999,
+   candidates=(0.999, 0.5),
+   description="Fraction of blocks required to leave safe mode (private FP).")
+_d("dfs.datanode.directoryscan.interval", DURATION_S, 21600,
+   candidates=(21600, 216),
+   description="Directory scanner cadence (private FP).")
+_d("dfs.namenode.path.based.cache.refresh.interval.ms", DURATION_MS, 30000,
+   candidates=(30000, 300),
+   description="Cache directive rescan cadence (private FP).")
+
+# ---------------------------------------------------------------------------
+# companions pinned by dependency rules (§4)
+# ---------------------------------------------------------------------------
+_d("dfs.namenode.http-address", STR, "0.0.0.0:9870",
+   description="NameNode web UI http address.")
+_d("dfs.namenode.https-address", STR, "0.0.0.0:9871",
+   description="NameNode web UI https address.")
+
+# ---------------------------------------------------------------------------
+# safe parameters read during node initialization (pool population)
+# ---------------------------------------------------------------------------
+_d("dfs.blocksize", SIZE, 128 * 1024 * 1024,
+   description="Default block size used by writers.")
+_d("dfs.namenode.handler.count", INT, 10,
+   description="NameNode RPC handler threads.")
+_d("dfs.namenode.service.handler.count", INT, 10,
+   description="NameNode service RPC handler threads.")
+_d("dfs.namenode.name.dir", STR, "file:///dfs/name",
+   description="Where the NameNode stores its image.")
+_d("dfs.namenode.edits.dir", STR, "file:///dfs/edits",
+   description="Where the NameNode stores edit logs.")
+_d("dfs.namenode.accesstime.precision", DURATION_MS, 3600000,
+   description="Granularity of recorded access times.")
+_d("dfs.namenode.acls.enabled", BOOL, False,
+   description="Enable POSIX ACL support.")
+_d("dfs.namenode.checkpoint.period", DURATION_S, 3600,
+   description="Seconds between secondary NameNode checkpoints.")
+_d("dfs.namenode.checkpoint.txns", INT, 1000000,
+   description="Transactions between checkpoints.")
+_d("dfs.datanode.handler.count", INT, 10,
+   description="DataNode RPC handler threads.")
+_d("dfs.datanode.data.dir", STR, "file:///dfs/data",
+   description="DataNode volume directories.")
+_d("dfs.datanode.sync.behind.writes", BOOL, False,
+   description="sync_file_range after writes.")
+_d("dfs.datanode.drop.cache.behind.reads", BOOL, False,
+   description="posix_fadvise after reads.")
+_d("dfs.datanode.scan.period.hours", INT, 504,
+   description="Block scanner period.")
+_d("dfs.blockreport.intervalMsec", DURATION_MS, 21600000,
+   description="Cadence of full block reports (reconciliation only).")
+_d("dfs.client.use.datanode.hostname", BOOL, False,
+   description="Connect to DataNodes by hostname.")
+_d("dfs.client.retry.policy.enabled", BOOL, False,
+   description="Enable client retry policy on NameNode calls.")
+
+# ---------------------------------------------------------------------------
+# documented parameters never read by the corpus (pre-run filters these)
+# ---------------------------------------------------------------------------
+_d("dfs.webhdfs.enabled", BOOL, True, description="Enable WebHDFS endpoints.")
+_d("dfs.hosts", STR, "", description="Include file of permitted DataNodes.")
+_d("dfs.hosts.exclude", STR, "", description="Exclude file of DataNodes.")
+_d("dfs.namenode.secondary.http-address", STR, "0.0.0.0:9868",
+   description="Secondary NameNode web address.")
+_d("dfs.datanode.address", STR, "0.0.0.0:9866",
+   description="DataNode data-transfer address.")
+_d("dfs.datanode.http.address", STR, "0.0.0.0:9864",
+   description="DataNode web address.")
+_d("dfs.journalnode.rpc-address", STR, "0.0.0.0:8485",
+   description="JournalNode RPC address.")
+_d("dfs.ha.automatic-failover.enabled", BOOL, False,
+   description="Enable ZKFC automatic failover.")
+_d("dfs.namenode.num.checkpoints.retained", INT, 2,
+   description="Checkpoint images retained.")
+_d("dfs.image.transfer.bandwidthPerSec", SIZE, 0,
+   description="Throttle for image transfers; 0 is unlimited.")
+_d("dfs.namenode.delegation.token.max-lifetime", DURATION_MS, 7 * 24 * 3600 * 1000,
+   description="Delegation token maximum lifetime.")
+_d("dfs.client.failover.max.attempts", INT, 15,
+   description="Client failover attempts before giving up.")
+_d("dfs.datanode.failed.volumes.tolerated", INT, 0,
+   description="Volume failures tolerated before shutdown.")
+_d("dfs.namenode.replication.min", INT, 1,
+   description="Minimal live replicas for a write to succeed.")
+_d("dfs.namenode.safemode.extension", DURATION_MS, 30000,
+   description="Extra time in safe mode after the threshold is met.")
+_d("dfs.namenode.support.allow.format", BOOL, True,
+   description="Allow reformatting the NameNode.")
+_d("dfs.namenode.fslock.fair", BOOL, True,
+   description="Use a fair FSNamesystem lock.")
+_d("dfs.datanode.du.reserved.pct", INT, 0,
+   description="Percentage alternative to dfs.datanode.du.reserved.")
+_d("dfs.storage.policy.enabled", BOOL, True,
+   description="Allow setting storage policies.")
+
+#: Effective registry: HDFS parameters plus Hadoop Common's (Table 1).
+HDFS_FULL_REGISTRY = HDFS_REGISTRY.merged_with(COMMON_REGISTRY)
+
+#: §4 dependency rules: pick the matching address when testing the policy.
+HDFS_DEPENDENCY_RULES = (
+    DependencyRule("dfs.http.policy", "HTTPS_ONLY",
+                   "dfs.namenode.https-address", "0.0.0.0:9871"),
+    DependencyRule("dfs.http.policy", "HTTP_ONLY",
+                   "dfs.namenode.http-address", "0.0.0.0:9870"),
+)

@@ -1,0 +1,14 @@
+"""The HDFS whole-system unit-test corpus ZebraConf reuses.
+
+Importing this package registers every test into
+:data:`repro.core.registry.CORPUS` under the ``"hdfs"`` app, mirroring
+how the paper points ZebraConf at HDFS's existing JUnit suites.
+"""
+
+import repro.apps.hdfs.suite.storage_tests  # noqa: F401
+import repro.apps.hdfs.suite.heartbeat_tests  # noqa: F401
+import repro.apps.hdfs.suite.namespace_tests  # noqa: F401
+import repro.apps.hdfs.suite.balancer_tests  # noqa: F401
+import repro.apps.hdfs.suite.ha_tests  # noqa: F401
+import repro.apps.hdfs.suite.internals_tests  # noqa: F401
+import repro.apps.hdfs.suite.misc_tests  # noqa: F401

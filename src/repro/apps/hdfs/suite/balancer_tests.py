@@ -1,0 +1,99 @@
+"""HDFS corpus: Balancer and Mover scenarios — the paper's case studies."""
+
+from __future__ import annotations
+
+from repro.apps.hdfs import (Balancer, HdfsConfiguration, MiniDFSCluster,
+                             Mover)
+from repro.common.errors import TestFailure
+from repro.core.registry import TestContext, unit_test
+
+
+@unit_test("hdfs", "TestBalancer.testConcurrentMoves",
+           tags=("balancer",),
+           notes="§7.1 case study: dfs.datanode.balance.max.concurrent.moves")
+def test_balancer_concurrent_moves(ctx: TestContext) -> None:
+    """Move 100 blocks off one DataNode within a deadline.  A Balancer
+    dispatching more concurrent moves than the DataNode serves triggers
+    the 1100 ms congestion back-off on every declined request, slowing
+    balancing ~10x past the deadline."""
+    conf = HdfsConfiguration()
+    with MiniDFSCluster(conf, num_datanodes=2) as cluster:
+        cluster.start()
+        moves = []
+        for index in range(100):
+            block_id = cluster.place_block("/balance/f%03d" % index, ["dn0"])
+            moves.append({"block_id": block_id, "source": "dn0",
+                          "target": "dn1"})
+        balancer = Balancer(conf, cluster)
+        result = balancer.run_balancing(moves, timeout_s=100.0)
+        if result["moves"] != len(moves):
+            raise TestFailure("balancer finished with %d/%d moves"
+                              % (result["moves"], len(moves)))
+        cluster.check_health()
+
+
+@unit_test("hdfs", "TestBalancerBandwidth.testThrottledTransferProgress",
+           tags=("balancer",),
+           notes="§7.1 case study: dfs.datanode.balance.bandwidthPerSec")
+def test_balancer_bandwidth(ctx: TestContext) -> None:
+    """Stream 50 MB of balancing traffic between two DataNodes.  A fast
+    sender drives a slow receiver's bandwidth quota into deficit, and the
+    receiver's progress reports stall until the Balancer times out."""
+    conf = HdfsConfiguration()
+    with MiniDFSCluster(conf, num_datanodes=2) as cluster:
+        cluster.start()
+        cluster.place_block("/bw/blob", ["dn0"], size=50 * 1024 * 1024)
+        balancer = Balancer(conf, cluster)
+        result = balancer.run_throttled_transfer(
+            "dn0", "dn1", block_bytes=50 * 1024 * 1024,
+            progress_timeout_s=3.0)
+        if result["chunks"] <= 0:
+            raise TestFailure("no data transferred")
+        cluster.check_health()
+
+
+@unit_test("hdfs", "TestUpgradeDomainBlockPlacement.testBalancerHonorsPolicy",
+           tags=("balancer",),
+           notes="§7.1 case study: dfs.namenode.upgrade.domain.factor")
+def test_upgrade_domain_balancing(ctx: TestContext) -> None:
+    """The Balancer plans a move that satisfies *its* upgrade-domain
+    factor; the NameNode validates with its own and declines forever when
+    the Balancer's factor is laxer, so rebalancing never finishes."""
+    conf = HdfsConfiguration()
+    domains = ["ud0", "ud1", "ud2", "ud0", "ud3"]
+    with MiniDFSCluster(conf, num_datanodes=5,
+                        upgrade_domains=domains) as cluster:
+        cluster.start()
+        block_id = cluster.place_block("/ud/blob", ["dn0", "dn1", "dn2"])
+        balancer = Balancer(conf, cluster)
+        domain_map = balancer.rpc_client.call(cluster.namenode.rpc,
+                                              "get_upgrade_domains")
+        target = balancer.pick_target(["dn0", "dn1", "dn2"], source_dn="dn2",
+                                      candidates=["dn3", "dn4"],
+                                      domains=domain_map)
+        result = balancer.run_balancing(
+            [{"block_id": block_id, "source": "dn2", "target": target}],
+            timeout_s=30.0)
+        if result["moves"] != 1:
+            raise TestFailure("rebalancing did not complete")
+        cluster.check_health()
+
+
+@unit_test("hdfs", "TestMover.testScheduledMoves", tags=("balancer",))
+def test_mover_moves_blocks(ctx: TestContext) -> None:
+    """The Mover shares the Balancer's dispatch machinery; a small batch
+    always finishes inside a generous deadline."""
+    conf = HdfsConfiguration()
+    with MiniDFSCluster(conf, num_datanodes=2) as cluster:
+        cluster.start()
+        moves = []
+        for index in range(10):
+            block_id = cluster.place_block("/mover/f%02d" % index, ["dn0"])
+            moves.append({"block_id": block_id, "source": "dn0",
+                          "target": "dn1"})
+        mover = Mover(conf, cluster)
+        result = mover.run_balancing(moves, timeout_s=60.0)
+        if result["moves"] != 10:
+            raise TestFailure("mover finished with %d/10 moves"
+                              % result["moves"])
+        cluster.check_health()

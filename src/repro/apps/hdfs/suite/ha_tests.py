@@ -1,0 +1,87 @@
+"""HDFS corpus: HA edit-log tailing, fsimage comparison, checkpoints."""
+
+from __future__ import annotations
+
+from repro.apps.hdfs import DFSClient, HdfsConfiguration, MiniDFSCluster
+from repro.apps.hdfs.namespace import Namespace
+from repro.common.errors import TestFailure
+from repro.core.registry import TestContext, unit_test
+
+
+@unit_test("hdfs", "TestEditLogTailer.testStandbyTailsEdits",
+           tags=("ha",))
+def test_standby_tails_edits(ctx: TestContext) -> None:
+    """The standby NameNode tails edits from the JournalNode, requesting
+    in-progress segments per *its own* configuration; the JournalNode
+    serves them per its own (Table 3: dfs.ha.tail-edits.in-progress)."""
+    conf = HdfsConfiguration()
+    with MiniDFSCluster(conf, num_datanodes=1, num_namenodes=2,
+                        with_journal=True) as cluster:
+        cluster.start()
+        client = DFSClient(conf, cluster)
+        for index in range(3):
+            client.mkdirs("/ha/finalized%d" % index)
+        cluster.namenode.finalize_log_segment()
+        client.mkdirs("/ha/inprogress0")
+        standby = cluster.standby_namenode
+        standby.tail_edits()
+        expect_in_progress = conf.get_bool("dfs.ha.tail-edits.in-progress")
+        if not standby.namespace.exists("/ha/finalized2"):
+            raise TestFailure("standby missed finalized edits")
+        has_in_progress = standby.namespace.exists("/ha/inprogress0")
+        if has_in_progress != expect_in_progress:
+            raise TestFailure(
+                "standby %s the in-progress edit although the user "
+                "configured tail-edits.in-progress=%s"
+                % ("applied" if has_in_progress else "missed",
+                   expect_in_progress))
+        cluster.check_health()
+
+
+@unit_test("hdfs", "TestStandbyCheckpoints.testImageFilesIdentical",
+           strict_assertion=True, tags=("ha",),
+           notes="§7.1 FP: compares fsimage *lengths* before contents; "
+                 "compression changes length but not contents.")
+def test_image_files_identical(ctx: TestContext) -> None:
+    """Both NameNodes save an fsimage of the same namespace.  The test
+    first compares file lengths — the overly strict assertion the paper
+    calls out for dfs.image.compress — and only then the actual contents."""
+    conf = HdfsConfiguration()
+    with MiniDFSCluster(conf, num_datanodes=1, num_namenodes=2,
+                        with_journal=True) as cluster:
+        cluster.start()
+        client = DFSClient(conf, cluster)
+        for index in range(4):
+            client.mkdirs("/images/dir%d" % index)
+        cluster.namenode.finalize_log_segment()
+        standby = cluster.standby_namenode
+        standby.tail_edits()
+        image_active = cluster.namenode.save_image()
+        image_standby = standby.save_image()
+        if len(image_active) != len(image_standby):
+            raise TestFailure(
+                "fsimage lengths differ: active=%d standby=%d"
+                % (len(image_active), len(image_standby)))
+        if (Namespace.image_contents(image_active)
+                != Namespace.image_contents(image_standby)):
+            raise TestFailure("fsimage contents differ between NameNodes")
+        cluster.check_health()
+
+
+@unit_test("hdfs", "TestSecondaryNameNode.testCheckpointMatchesActive",
+           tags=("ha",))
+def test_secondary_checkpoint(ctx: TestContext) -> None:
+    """Checkpoint via the SecondaryNameNode and compare *contents* (the
+    lenient version of the image comparison — passes under heterogeneous
+    compression, unlike its strict sibling)."""
+    conf = HdfsConfiguration()
+    with MiniDFSCluster(conf, num_datanodes=1, with_secondary=True) as cluster:
+        cluster.start()
+        client = DFSClient(conf, cluster)
+        client.mkdirs("/checkpoint/data")
+        image = cluster.secondary.do_checkpoint()
+        live = cluster.namenode.namespace.save_image(compress=False)
+        if (Namespace.image_contents(image)
+                != Namespace.image_contents(live)):
+            raise TestFailure("checkpoint diverged from the live namespace")
+        cluster.check_health()

@@ -1,0 +1,129 @@
+"""HDFS corpus: heartbeats, liveness/staleness reporting, space stats,
+and incremental block reports.
+
+The tests here compute their expectations from *their own* configuration
+object (as real HDFS unit tests do), which is exactly what exposes the
+user-visible-inconsistency family of Table-3 parameters when the serving
+node is configured differently.
+"""
+
+from __future__ import annotations
+
+from repro.apps.hdfs import DFSClient, HdfsConfiguration, MiniDFSCluster
+from repro.apps.hdfs.datanode import DEFAULT_CAPACITY
+from repro.common.errors import TestFailure
+from repro.core.registry import TestContext, unit_test
+
+
+def _expiry_seconds(conf) -> float:
+    """The heartbeat-expiry formula, computed from the *test's* conf."""
+    recheck_ms = conf.get_int("dfs.namenode.heartbeat.recheck-interval")
+    interval_s = conf.get_int("dfs.heartbeat.interval")
+    return (2 * recheck_ms + 10 * 1000 * interval_s) / 1000.0
+
+
+@unit_test("hdfs", "TestHeartbeat.testDatanodesStayAlive",
+           tags=("heartbeat",))
+def test_datanodes_stay_alive(ctx: TestContext) -> None:
+    """A healthy cluster must not declare live DataNodes dead (Table 3:
+    dfs.heartbeat.interval — a slow sender misses the receiver's window)."""
+    conf = HdfsConfiguration()
+    with MiniDFSCluster(conf, num_datanodes=2) as cluster:
+        cluster.start()
+        cluster.run_for(1000.0)
+        stats = DFSClient(conf, cluster).get_stats()
+        if stats["dead"] != 0:
+            raise TestFailure("NameNode falsely identified %d live "
+                              "DataNode(s) as crashed" % stats["dead"])
+        if stats["live"] != 2:
+            raise TestFailure("expected 2 live DataNodes, got %d"
+                              % stats["live"])
+
+
+@unit_test("hdfs", "TestDeadDatanode.testStoppedDatanodeReported",
+           tags=("heartbeat", "inconsistency"))
+def test_dead_node_detection(ctx: TestContext) -> None:
+    """Stop a DataNode and wait the expiry the *test's* configuration
+    implies; the NameNode sweeps with its own values (Table 3:
+    dfs.namenode.heartbeat.recheck-interval)."""
+    conf = HdfsConfiguration()
+    with MiniDFSCluster(conf, num_datanodes=2) as cluster:
+        cluster.start()
+        cluster.datanodes[1].stop()
+        recheck_s = conf.get_int("dfs.namenode.heartbeat.recheck-interval") / 1000.0
+        cluster.run_for(_expiry_seconds(conf) + recheck_s + 10.0)
+        stats = DFSClient(conf, cluster).get_stats()
+        if stats["dead"] != 1:
+            raise TestFailure(
+                "user expected exactly 1 dead DataNode after the configured "
+                "expiry, NameNode reports %d" % stats["dead"])
+
+
+@unit_test("hdfs", "TestStaleDatanode.testStaleDetection",
+           tags=("heartbeat", "inconsistency"))
+def test_stale_detection(ctx: TestContext) -> None:
+    conf = HdfsConfiguration()
+    with MiniDFSCluster(conf, num_datanodes=2) as cluster:
+        cluster.start()
+        cluster.datanodes[1].stop()
+        stale_s = conf.get_int("dfs.namenode.stale.datanode.interval") / 1000.0
+        cluster.run_for(stale_s + 30.0)
+        stats = DFSClient(conf, cluster).get_stats()
+        if stats["stale"] < 1:
+            raise TestFailure(
+                "user expected the silent DataNode to be stale after the "
+                "configured interval, NameNode reports %d stale"
+                % stats["stale"])
+
+
+@unit_test("hdfs", "TestNamenodeCapacityReport.testReservedSpace",
+           tags=("inconsistency",))
+def test_du_reserved(ctx: TestContext) -> None:
+    """Remaining space must reflect the reservation the user configured
+    (Table 3: dfs.datanode.du.reserved)."""
+    conf = HdfsConfiguration()
+    with MiniDFSCluster(conf, num_datanodes=2) as cluster:
+        cluster.start()
+        cluster.run_for(10.0)  # let heartbeats report usage
+        reserved = conf.get_int("dfs.datanode.du.reserved")
+        expected = 2 * max(DEFAULT_CAPACITY - reserved, 0)
+        stats = DFSClient(conf, cluster).get_stats()
+        if stats["remaining"] != expected:
+            raise TestFailure(
+                "user computed %d bytes remaining from the configured "
+                "reservation, NameNode reports %d"
+                % (expected, stats["remaining"]))
+
+
+@unit_test("hdfs", "TestIncrementalBlockReports.testDeleteVisibility",
+           tags=("inconsistency",))
+def test_incremental_block_report(ctx: TestContext) -> None:
+    """Delete a file and check when the NameNode's block map shrinks —
+    immediately when reports are immediate, after the batching interval
+    otherwise (Table 3: dfs.blockreport.incremental.intervalMsec)."""
+    conf = HdfsConfiguration()
+    with MiniDFSCluster(conf, num_datanodes=2) as cluster:
+        cluster.start()
+        client = DFSClient(conf, cluster)
+        client.write_file("/ibr/file", b"to-delete" * 32, replication=2)
+        if client.get_stats()["blocks"] != 1:
+            raise TestFailure("expected 1 block before deletion")
+        client.delete("/ibr/file")
+        interval_ms = conf.get_int("dfs.blockreport.incremental.intervalMsec")
+        blocks_now = client.get_stats()["blocks"]
+        if interval_ms == 0:
+            if blocks_now != 0:
+                raise TestFailure(
+                    "deletion was configured to report immediately but the "
+                    "NameNode still counts %d block(s)" % blocks_now)
+        else:
+            if blocks_now != 1:
+                raise TestFailure(
+                    "deletion was configured to batch for %dms but the "
+                    "block disappeared immediately" % interval_ms)
+            cluster.run_for(interval_ms / 1000.0 + 1.0)
+            remaining = client.get_stats()["blocks"]
+            if remaining != 0:
+                raise TestFailure("block still present %dms after deletion"
+                                  % (interval_ms + 1000))
+        cluster.check_health()

@@ -1,0 +1,97 @@
+"""HDFS corpus: fs limits, snapshots, web endpoints, corrupt-block listing."""
+
+from __future__ import annotations
+
+from repro.apps.hdfs import (DFSClient, HdfsConfiguration, MiniDFSCluster,
+                             run_fsck)
+from repro.common.errors import TestFailure
+from repro.core.registry import TestContext, unit_test
+
+
+@unit_test("hdfs", "TestFsLimits.testMaxComponentLength",
+           tags=("limits",))
+def test_max_component_length(ctx: TestContext) -> None:
+    """Create a path whose component length is valid under the *client's*
+    limit; the NameNode enforces its own (Table 3:
+    dfs.namenode.fs-limits.max-component-length)."""
+    conf = HdfsConfiguration()
+    with MiniDFSCluster(conf, num_datanodes=1) as cluster:
+        cluster.start()
+        client = DFSClient(conf, cluster)
+        limit = conf.get_int("dfs.namenode.fs-limits.max-component-length")
+        name = "d" * min(limit, 100)
+        client.mkdirs("/limits/" + name)
+        cluster.check_health()
+
+
+@unit_test("hdfs", "TestFsLimits.testMaxDirectoryItems",
+           tags=("limits",))
+def test_max_directory_items(ctx: TestContext) -> None:
+    conf = HdfsConfiguration()
+    with MiniDFSCluster(conf, num_datanodes=1) as cluster:
+        cluster.start()
+        client = DFSClient(conf, cluster)
+        client.mkdirs("/fanout")
+        count = min(conf.get_int("dfs.namenode.fs-limits.max-directory-items"),
+                    32)
+        for index in range(count - 1):  # /fanout itself holds the children
+            client.mkdirs("/fanout/sub%04d" % index)
+        cluster.check_health()
+
+
+@unit_test("hdfs", "TestSnapshotDiffReport.testDescendantDiff",
+           tags=("snapshot",))
+def test_snapshot_descendant_diff(ctx: TestContext) -> None:
+    conf = HdfsConfiguration()
+    with MiniDFSCluster(conf, num_datanodes=1) as cluster:
+        cluster.start()
+        client = DFSClient(conf, cluster)
+        client.mkdirs("/snaproot/sub")
+        client.allow_snapshot("/snaproot")
+        client.create_snapshot("/snaproot", "s0")
+        client.mkdirs("/snaproot/sub/added")
+        diff = client.snapshot_diff("/snaproot", "/snaproot/sub", "s0")
+        if not isinstance(diff, list):
+            raise TestFailure("snapshot diff did not return a listing")
+        cluster.check_health()
+
+
+@unit_test("hdfs", "TestFsck.testFsckHealthy", tags=("web",))
+def test_fsck_healthy(ctx: TestContext) -> None:
+    """Run the DFSck tool against the NameNode web UI; the tool picks its
+    scheme from its own configuration (Table 3: dfs.http.policy)."""
+    conf = HdfsConfiguration()
+    with MiniDFSCluster(conf, num_datanodes=2) as cluster:
+        cluster.start()
+        client = DFSClient(conf, cluster)
+        client.write_file("/fsck/file", b"fsck-data" * 16, replication=2)
+        report = run_fsck(conf, cluster.namenode)
+        if not report["healthy"]:
+            raise TestFailure("fsck reported an unhealthy cluster: %r" % report)
+        cluster.check_health()
+
+
+@unit_test("hdfs", "TestListCorruptFileBlocks.testTruncatedListing",
+           tags=("inconsistency",))
+def test_corrupt_block_listing(ctx: TestContext) -> None:
+    """Report five corrupt blocks, then list them: the user expects the cap
+    from their own configuration (Table 3:
+    dfs.namenode.max-corrupt-file-blocks-returned)."""
+    conf = HdfsConfiguration()
+    with MiniDFSCluster(conf, num_datanodes=1) as cluster:
+        cluster.start()
+        client = DFSClient(conf, cluster)
+        block_ids = []
+        for index in range(5):
+            block_ids.extend(client.write_file("/corrupt/f%d" % index,
+                                               b"x" * 64, replication=1))
+        client.report_bad_blocks(block_ids)
+        expected = min(5, conf.get_int(
+            "dfs.namenode.max-corrupt-file-blocks-returned"))
+        listed = client.list_corrupt_file_blocks()
+        if len(listed) != expected:
+            raise TestFailure(
+                "user expected %d corrupt blocks in the listing (their "
+                "configured cap), NameNode returned %d"
+                % (expected, len(listed)))
+        cluster.check_health()

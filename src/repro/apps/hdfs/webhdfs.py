@@ -1,0 +1,68 @@
+"""WebHDFS: the NameNode's REST file-system API over its web endpoint.
+
+Rides the policy-aware HTTP server, so clients whose ``dfs.http.policy``
+picks a scheme the NameNode doesn't bind fail to connect — the same
+Table-3 mechanism as DFSck, exposed through the REST surface real
+deployments script against.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.common.httpserver import http_get
+
+
+def install_webhdfs_routes(namenode: Any) -> None:
+    """Register the WebHDFS operations on a NameNode's web server."""
+
+    def list_status(path: str) -> Dict[str, Any]:
+        names = namenode.list_dir(path)
+        return {"FileStatuses": {"FileStatus": [
+            {"pathSuffix": name} for name in names]}}
+
+    def get_file_status(path: str) -> Dict[str, Any]:
+        if not namenode.namespace.exists(path):
+            from repro.common.errors import ConnectError
+            raise ConnectError("404: no such path %s" % path)
+        return {"FileStatus": {"path": path}}
+
+    def mkdirs(path: str) -> Dict[str, Any]:
+        namenode.mkdirs(path)
+        return {"boolean": True}
+
+    namenode.http.route("/webhdfs/v1/LISTSTATUS", list_status)
+    namenode.http.route("/webhdfs/v1/GETFILESTATUS", get_file_status)
+    namenode.http.route("/webhdfs/v1/MKDIRS", mkdirs)
+
+
+class WebHdfsClient:
+    """REST client; the scheme comes from *this client's* http policy."""
+
+    def __init__(self, conf: Any, namenode: Any) -> None:
+        self.conf = conf
+        self.namenode = namenode
+        install_webhdfs_routes(namenode)
+
+    def _request(self, op: str, path: str) -> Any:
+        return http_get(self.namenode.http,
+                        self.conf.get_enum("dfs.http.policy"),
+                        "/webhdfs/v1/%s" % op, path)
+
+    def list_status(self, path: str) -> List[str]:
+        response = self._request("LISTSTATUS", path)
+        return [entry["pathSuffix"]
+                for entry in response["FileStatuses"]["FileStatus"]]
+
+    def exists(self, path: str) -> bool:
+        from repro.common.errors import ConnectError
+        try:
+            self._request("GETFILESTATUS", path)
+            return True
+        except ConnectError as exc:
+            if "404" in str(exc):
+                return False
+            raise
+
+    def mkdirs(self, path: str) -> bool:
+        return self._request("MKDIRS", path)["boolean"]

@@ -1,0 +1,32 @@
+"""Mini-MapReduce: MapTask, ReduceTask, JobHistoryServer, job runner."""
+
+from repro.apps.mapreduce.cluster import MiniMRCluster
+from repro.apps.mapreduce.conf import JobConf
+from repro.apps.mapreduce.job import JobRunner
+from repro.apps.mapreduce.jobhistory import JobHistoryServer
+from repro.apps.mapreduce.params import (MAPREDUCE_DEPENDENCY_RULES,
+                                         MAPREDUCE_FULL_REGISTRY,
+                                         MAPREDUCE_REGISTRY)
+from repro.apps.mapreduce.tasks import MapTask, ReduceTask
+
+#: Paper ground truth (Table 3 / §7.1), used only by benches and tests.
+EXPECTED_UNSAFE = (
+    "mapreduce.fileoutputcommitter.algorithm.version",
+    "mapreduce.job.encrypted-intermediate-data",
+    "mapreduce.job.maps",
+    "mapreduce.job.reduces",
+    "mapreduce.map.output.compress",
+    "mapreduce.map.output.compress.codec",
+    "mapreduce.output.fileoutputformat.compress",
+    "mapreduce.shuffle.ssl.enabled",
+)
+
+EXPECTED_FALSE_POSITIVES = (
+    "mapreduce.task.io.sort.factor",
+)
+
+__all__ = [
+    "MiniMRCluster", "JobConf", "JobRunner", "JobHistoryServer", "MapTask",
+    "ReduceTask", "MAPREDUCE_DEPENDENCY_RULES", "MAPREDUCE_FULL_REGISTRY",
+    "MAPREDUCE_REGISTRY", "EXPECTED_UNSAFE", "EXPECTED_FALSE_POSITIVES",
+]

@@ -1,0 +1,43 @@
+"""MiniMRCluster: in-process MapReduce test harness."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.apps.mapreduce.jobhistory import JobHistoryServer
+from repro.apps.mapreduce.tasks import MapTask, ReduceTask
+from repro.common.cluster import MiniCluster
+
+
+class MiniMRCluster(MiniCluster):
+    """Runs the JobHistoryServer plus per-job Map/Reduce task 'processes'
+    inside this process, all built from the unit test's configuration."""
+
+    def __init__(self, conf: Any) -> None:
+        super().__init__()
+        self.conf = conf
+        self.history_server = self.add_node(JobHistoryServer(conf, self))
+        self.map_tasks: List[MapTask] = []
+        self.reduce_tasks: List[ReduceTask] = []
+
+    def start(self) -> None:
+        self.history_server.start()
+
+    # ------------------------------------------------------------------
+    def launch_map_task(self, index: int) -> MapTask:
+        task = self.add_node(MapTask(self.conf, self, index))
+        task.start()
+        self.map_tasks.append(task)
+        return task
+
+    def launch_reduce_task(self, index: int) -> ReduceTask:
+        task = self.add_node(ReduceTask(self.conf, self, index))
+        task.start()
+        self.reduce_tasks.append(task)
+        return task
+
+    def map_task(self, index: int) -> Optional[MapTask]:
+        for task in self.map_tasks:
+            if task.task_index == index:
+                return task
+        return None

@@ -1,0 +1,13 @@
+"""MapReduce-flavoured Configuration bound to the merged MR registry."""
+
+from __future__ import annotations
+
+from repro.apps.mapreduce.params import MAPREDUCE_FULL_REGISTRY
+from repro.common.configuration import Configuration
+
+
+class JobConf(Configuration):
+    """``Configuration`` with mapred-default.xml + core-default.xml defaults
+    (Hadoop calls this class JobConf; the name is kept for familiarity)."""
+
+    registry = MAPREDUCE_FULL_REGISTRY

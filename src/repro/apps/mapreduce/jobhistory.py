@@ -1,0 +1,34 @@
+"""JobHistoryServer: records finished jobs, queried over RPC."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.common.ipc import RpcServer
+from repro.common.node import Node, node_init
+
+
+class JobHistoryServer(Node):
+    node_type = "JobHistoryServer"
+
+    def __init__(self, conf: Any, cluster: Any) -> None:
+        with node_init(self):
+            super().__init__(conf, cluster)
+            from repro.apps.mapreduce.conf import JobConf
+            cluster.ensure_ipc(JobConf)
+            self._max_age_ms = self.conf.get_int("mapreduce.jobhistory.max-age-ms")
+            self._cache_size = self.conf.get_int(
+                "mapreduce.jobhistory.joblist.cache.size")
+            self._jobs: List[Dict[str, Any]] = []
+            self.rpc = RpcServer("JobHistoryServer", self.conf)
+            self.rpc.register("register_job", self.register_job)
+            self.rpc.register("list_jobs", self.list_jobs)
+
+    def register_job(self, job_id: str, maps: int, reduces: int) -> bool:
+        self._jobs.append({"job_id": job_id, "maps": maps, "reduces": reduces})
+        if len(self._jobs) > self._cache_size:
+            self._jobs.pop(0)
+        return True
+
+    def list_jobs(self) -> List[Dict[str, Any]]:
+        return list(self._jobs)

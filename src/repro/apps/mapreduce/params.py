@@ -1,0 +1,104 @@
+"""MapReduce parameter registry (curated subset of mapred-default.xml).
+
+Contains the eight MapReduce parameters from the paper's Table 3, the
+parameter behind MapReduce's private-API false positive, and safe
+parameters read by tasks and the JobHistoryServer.
+"""
+
+from __future__ import annotations
+
+from repro.apps.commonlib.params import COMMON_REGISTRY
+from repro.common.params import (BOOL, DURATION_MS, ENUM, FLOAT, INT, SIZE,
+                                 STR, ParamRegistry)
+from repro.core.testgen import DependencyRule
+
+MAPREDUCE_REGISTRY = ParamRegistry("mapreduce")
+_d = MAPREDUCE_REGISTRY.define
+
+# ---------------------------------------------------------------------------
+# Table 3: heterogeneous-unsafe MapReduce parameters
+# ---------------------------------------------------------------------------
+_d("mapreduce.fileoutputcommitter.algorithm.version", INT, 1,
+   candidates=(1, 2),
+   description="v1 commits via _temporary + job-commit move; v2 commits "
+               "directly to the output directory.")
+_d("mapreduce.job.encrypted-intermediate-data", BOOL, False,
+   tags=("wire-format",),
+   description="Encrypt map outputs spilled for the shuffle.")
+_d("mapreduce.job.maps", INT, 2, candidates=(2, 4), tags=("task-count",),
+   description="Number of map tasks; reducers copy one output per map.")
+_d("mapreduce.job.reduces", INT, 2, candidates=(2, 4), tags=("task-count",),
+   description="Number of reduce tasks; mappers partition output per reducer.")
+_d("mapreduce.map.output.compress", BOOL, False, tags=("wire-format",),
+   description="Compress map outputs for the shuffle.")
+_d("mapreduce.map.output.compress.codec", ENUM, "gzip",
+   values=("gzip", "snappy", "lz4"), tags=("wire-format",),
+   description="Codec for compressed map outputs.")
+_d("mapreduce.output.fileoutputformat.compress", BOOL, False,
+   tags=("inconsistency",),
+   description="Compress final job output; changes the part-file names.")
+_d("mapreduce.shuffle.ssl.enabled", BOOL, False, tags=("wire-format",),
+   description="Serve/fetch shuffle data over SSL.")
+
+# ---------------------------------------------------------------------------
+# the private-observability false positive (§7.1)
+# ---------------------------------------------------------------------------
+_d("mapreduce.task.io.sort.factor", INT, 10, candidates=(10, 1000),
+   description="Spill-merge fan-in (internal; the MR private-API FP).")
+
+# ---------------------------------------------------------------------------
+# safe parameters read by tasks / JobHistoryServer
+# ---------------------------------------------------------------------------
+_d("mapreduce.task.io.sort.mb", SIZE, 100,
+   description="In-memory sort buffer per task.")
+_d("mapreduce.task.timeout", DURATION_MS, 600000,
+   description="Task liveness timeout.")
+_d("mapreduce.map.memory.mb", SIZE, 1024,
+   description="Container memory per map task.")
+_d("mapreduce.reduce.memory.mb", SIZE, 1024,
+   description="Container memory per reduce task.")
+_d("mapreduce.reduce.shuffle.parallelcopies", INT, 5,
+   description="Concurrent fetchers per reducer.")
+_d("mapreduce.jobhistory.max-age-ms", DURATION_MS, 604800000,
+   description="Retention for finished-job records.")
+_d("mapreduce.jobhistory.joblist.cache.size", INT, 20000,
+   description="Jobs cached by the history server.")
+_d("mapreduce.job.queuename", STR, "default",
+   description="Submission queue.")
+_d("mapreduce.map.speculative", BOOL, True,
+   description="Speculatively execute slow map tasks.")
+_d("mapreduce.reduce.speculative", BOOL, True,
+   description="Speculatively execute slow reduce tasks.")
+_d("mapreduce.job.reduce.slowstart.completedmaps", FLOAT, 0.05,
+   description="Map completion fraction before reducers start.")
+_d("mapreduce.input.lineinputformat.linespermap", INT, 1,
+   description="Lines per split for NLineInputFormat.")
+
+# ---------------------------------------------------------------------------
+# documented parameters never read by the corpus
+# ---------------------------------------------------------------------------
+_d("mapreduce.job.jvm.numtasks", INT, 1,
+   description="Tasks per JVM (JVM reuse).")
+_d("mapreduce.task.profile", BOOL, False,
+   description="Enable task profiling.")
+_d("mapreduce.job.ubertask.enable", BOOL, False,
+   description="Run tiny jobs inside the AM JVM.")
+_d("mapreduce.shuffle.port", INT, 13562,
+   description="ShuffleHandler port.")
+_d("mapreduce.jobhistory.address", STR, "0.0.0.0:10020",
+   description="History server RPC address.")
+_d("mapreduce.jobhistory.webapp.address", STR, "0.0.0.0:19888",
+   description="History server web address.")
+_d("mapreduce.cluster.acls.enabled", BOOL, False,
+   description="Enable job ACL checks.")
+_d("mapreduce.am.max-attempts", INT, 2,
+   description="ApplicationMaster retry budget.")
+
+#: MapReduce applications see Hadoop Common's parameters too (Table 1).
+MAPREDUCE_FULL_REGISTRY = MAPREDUCE_REGISTRY.merged_with(COMMON_REGISTRY)
+
+#: §4 dependency rules: varying the codec only matters with compression on.
+MAPREDUCE_DEPENDENCY_RULES = tuple(
+    DependencyRule("mapreduce.map.output.compress.codec", codec,
+                   "mapreduce.map.output.compress", True)
+    for codec in ("gzip", "snappy", "lz4"))

@@ -1,0 +1,5 @@
+"""The MapReduce whole-system unit-test corpus ZebraConf reuses."""
+
+import repro.apps.mapreduce.suite.job_tests  # noqa: F401
+import repro.apps.mapreduce.suite.shuffle_tests  # noqa: F401
+import repro.apps.mapreduce.suite.more_job_tests  # noqa: F401

@@ -1,0 +1,103 @@
+"""MapReduce corpus: whole jobs, commit protocol, output naming, history."""
+
+from __future__ import annotations
+
+from repro.apps.mapreduce import JobConf, JobRunner, MiniMRCluster
+from repro.apps.mapreduce.tasks import FINAL_OUTPUT_SUFFIX
+from repro.common.errors import TestFailure
+from repro.core.registry import TestContext, unit_test
+
+#: deterministic word-count input shared by the job tests.
+INPUT_LINES = [
+    "the quick brown fox jumps over the lazy dog",
+    "the dog barks at the quick fox",
+    "brown foxes and lazy dogs sleep",
+    "quick quick slow slow",
+]
+
+
+def _expected_counts() -> dict:
+    counts: dict = {}
+    for line in INPUT_LINES:
+        for word in line.split():
+            counts[word] = counts.get(word, 0) + 1
+    return counts
+
+
+@unit_test("mapreduce", "TestMapReduceJob.testWordCount", tags=("job",))
+def test_wordcount(ctx: TestContext) -> None:
+    conf = JobConf()
+    with MiniMRCluster(conf) as cluster:
+        cluster.start()
+        runner = JobRunner(conf, cluster)
+        output = runner.run_wordcount("job_wordcount_001", INPUT_LINES)
+        merged = runner.read_output(output)
+        if merged != _expected_counts():
+            raise TestFailure("word-count output is wrong or incomplete: "
+                              "%d keys vs %d expected"
+                              % (len(merged), len(_expected_counts())))
+
+
+@unit_test("mapreduce", "TestFileOutputCommitter.testCommitThenArchive",
+           tags=("job",),
+           notes="Table 3: mixed committer versions leave task files under "
+                 "_temporary, breaking Hadoop Archive.")
+def test_commit_then_archive(ctx: TestContext) -> None:
+    conf = JobConf()
+    with MiniMRCluster(conf) as cluster:
+        cluster.start()
+        runner = JobRunner(conf, cluster)
+        output = runner.run_wordcount("job_archive_001", INPUT_LINES)
+        archive = runner.archive_output(output)
+        if not archive["parts"]:
+            raise TestFailure("archive contains no part files")
+
+
+@unit_test("mapreduce", "TestTextOutputFormat.testPartFileNaming",
+           tags=("job", "inconsistency"))
+def test_part_file_naming(ctx: TestContext) -> None:
+    """The user predicts output file names from their own configuration
+    (Table 3: mapreduce.output.fileoutputformat.compress — 'End users may
+    observe inconsistent names of output files')."""
+    conf = JobConf()
+    with MiniMRCluster(conf) as cluster:
+        cluster.start()
+        runner = JobRunner(conf, cluster)
+        output = runner.run_wordcount("job_naming_001", INPUT_LINES)
+        expect_suffix = conf.get_bool("mapreduce.output.fileoutputformat.compress")
+        for path in output:
+            if path.startswith("_temporary/"):
+                continue
+            has_suffix = path.endswith(FINAL_OUTPUT_SUFFIX)
+            if has_suffix != expect_suffix:
+                raise TestFailure(
+                    "user expected output files %s the %s suffix, found %r"
+                    % ("with" if expect_suffix else "without",
+                       FINAL_OUTPUT_SUFFIX, path))
+
+
+@unit_test("mapreduce", "TestJobHistoryServer.testFinishedJobListed",
+           tags=("history",))
+def test_job_history(ctx: TestContext) -> None:
+    conf = JobConf()
+    with MiniMRCluster(conf) as cluster:
+        cluster.start()
+        runner = JobRunner(conf, cluster)
+        runner.run_wordcount("job_history_001", INPUT_LINES)
+        jobs = runner.rpc.call(cluster.history_server.rpc, "list_jobs")
+        if not any(j["job_id"] == "job_history_001" for j in jobs):
+            raise TestFailure("finished job missing from the history server")
+
+
+@unit_test("mapreduce", "TestTaskImpl.testSortFactorInternals",
+           observability="private", tags=("internals",),
+           notes="§7.1 FP: asserts a task-internal field against the "
+                 "test's configuration.")
+def test_sort_factor_internals(ctx: TestContext) -> None:
+    conf = JobConf()
+    with MiniMRCluster(conf) as cluster:
+        cluster.start()
+        task = cluster.launch_map_task(0)
+        if task._io_sort_factor != conf.get_int("mapreduce.task.io.sort.factor"):
+            raise TestFailure("task merge fan-in internals diverged from "
+                              "the test's configuration")

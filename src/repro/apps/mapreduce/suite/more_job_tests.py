@@ -1,0 +1,48 @@
+"""MapReduce corpus: wider jobs and history-server scenarios."""
+
+from __future__ import annotations
+
+from repro.apps.mapreduce import JobConf, JobRunner, MiniMRCluster
+from repro.common.errors import TestFailure
+from repro.core.registry import TestContext, unit_test
+
+
+@unit_test("mapreduce", "TestLargeSort.testWideJobRoundTrip", tags=("job",))
+def test_wide_job_round_trip(ctx: TestContext) -> None:
+    """A wider word count: random input, many distinct keys, all part
+    files merged back and compared against a locally computed answer."""
+    conf = JobConf()
+    words = ["key%03d" % ctx.rng.randrange(120) for _ in range(600)]
+    lines = [" ".join(words[i:i + 12]) for i in range(0, len(words), 12)]
+    expected: dict = {}
+    for word in words:
+        expected[word] = expected.get(word, 0) + 1
+    with MiniMRCluster(conf) as cluster:
+        cluster.start()
+        runner = JobRunner(conf, cluster)
+        output = runner.run_wordcount("job_wide_001", lines)
+        merged = runner.read_output(output)
+        if merged != expected:
+            missing = set(expected) - set(merged)
+            raise TestFailure("wide job lost %d keys" % len(missing))
+
+
+@unit_test("mapreduce", "TestJobHistoryServer.testSeveralJobsListed",
+           tags=("history",))
+def test_several_jobs_listed(ctx: TestContext) -> None:
+    conf = JobConf()
+    with MiniMRCluster(conf) as cluster:
+        cluster.start()
+        runner = JobRunner(conf, cluster)
+        for index in range(3):
+            runner.run_wordcount("job_multi_%03d" % index, ["x y", "y z"])
+        jobs = runner.rpc.call(cluster.history_server.rpc, "list_jobs")
+        listed = {j["job_id"] for j in jobs}
+        expected = {"job_multi_%03d" % i for i in range(3)}
+        if not expected <= listed:
+            raise TestFailure("history lost jobs: %s" % (expected - listed))
+        for job in jobs:
+            if job["maps"] != conf.get_int("mapreduce.job.maps"):
+                raise TestFailure(
+                    "history reports %d maps, the user's config says %d"
+                    % (job["maps"], conf.get_int("mapreduce.job.maps")))

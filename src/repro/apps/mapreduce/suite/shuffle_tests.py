@@ -1,0 +1,63 @@
+"""MapReduce corpus: shuffle-focused tests, a flaky test, node-free tests."""
+
+from __future__ import annotations
+
+from repro.apps.mapreduce import JobConf, JobRunner, MiniMRCluster
+from repro.apps.mapreduce.tasks import _partition
+from repro.common.errors import TestFailure
+from repro.core.registry import TestContext, unit_test
+
+
+@unit_test("mapreduce", "TestShuffleHandler.testShuffleRoundTrip",
+           tags=("shuffle",))
+def test_shuffle_round_trip(ctx: TestContext) -> None:
+    """Random input through the full shuffle path — compression,
+    encryption, and SSL framing all cross the mapper/reducer boundary."""
+    conf = JobConf()
+    words = ["w%02d" % ctx.rng.randrange(40) for _ in range(300)]
+    lines = [" ".join(words[i:i + 10]) for i in range(0, len(words), 10)]
+    expected: dict = {}
+    for word in words:
+        expected[word] = expected.get(word, 0) + 1
+    with MiniMRCluster(conf) as cluster:
+        cluster.start()
+        runner = JobRunner(conf, cluster)
+        output = runner.run_wordcount("job_shuffle_001", lines)
+        if runner.read_output(output) != expected:
+            raise TestFailure("shuffled word counts are wrong")
+
+
+@unit_test("mapreduce", "TestFetcher.testRacyFetchRetry", flaky=True,
+           tags=("shuffle", "flaky"),
+           notes="Nondeterministic: the fetch retry loses its race ~20% "
+                 "of trials.")
+def test_racy_fetch_retry(ctx: TestContext) -> None:
+    conf = JobConf()
+    with MiniMRCluster(conf) as cluster:
+        cluster.start()
+        runner = JobRunner(conf, cluster)
+        runner.run_wordcount("job_fetch_001", ["a b c", "b c d"])
+        if ctx.maybe(0.2):
+            raise TestFailure("fetcher retry raced the mapper cleanup "
+                              "and lost (timing-dependent)")
+
+
+@unit_test("mapreduce", "TestPartitioner.testHashPartition", tags=("util",))
+def test_hash_partition(ctx: TestContext) -> None:
+    """Pure function test: starts no nodes, filtered by the pre-run."""
+    for word in ("alpha", "beta", "gamma"):
+        if not 0 <= _partition(word, 4) < 4:
+            raise TestFailure("partition out of range")
+    if _partition("anything", 1) != 0:
+        raise TestFailure("single-partition jobs must map to partition 0")
+
+
+@unit_test("mapreduce", "TestJobConf.testDefaults", tags=("util",))
+def test_jobconf_defaults(ctx: TestContext) -> None:
+    """Node-free configuration sanity checks."""
+    conf = JobConf()
+    if conf.get_int("mapreduce.job.reduces") <= 0:
+        raise TestFailure("non-positive default reducer count")
+    if conf.get_enum("mapreduce.map.output.compress.codec") not in (
+            "gzip", "snappy", "lz4"):
+        raise TestFailure("unknown default codec")

@@ -1,0 +1,27 @@
+"""Mini-YARN: ResourceManager, NodeManager, ApplicationHistoryServer."""
+
+from repro.apps.yarn.cluster import MiniYARNCluster, YarnClient
+from repro.apps.yarn.conf import YarnConfiguration
+from repro.apps.yarn.nodes import (ApplicationHistoryServer, NodeManager,
+                                   ResourceManager)
+from repro.apps.yarn.params import YARN_FULL_REGISTRY, YARN_REGISTRY
+
+#: Paper ground truth (Table 3 / §7.1), used only by benches and tests.
+EXPECTED_UNSAFE = (
+    "yarn.http.policy",
+    "yarn.resourcemanager.delegation.token.renew-interval",
+    "yarn.scheduler.maximum-allocation-mb",
+    "yarn.scheduler.maximum-allocation-vcores",
+    "yarn.timeline-service.enabled",
+)
+
+EXPECTED_FALSE_POSITIVES = (
+    "yarn.nodemanager.vmem-pmem-ratio",
+)
+
+__all__ = [
+    "MiniYARNCluster", "YarnClient", "YarnConfiguration",
+    "ApplicationHistoryServer", "NodeManager", "ResourceManager",
+    "YARN_FULL_REGISTRY", "YARN_REGISTRY", "EXPECTED_UNSAFE",
+    "EXPECTED_FALSE_POSITIVES",
+]

@@ -1,0 +1,84 @@
+"""MiniYARNCluster and the YARN client helpers used by the corpus."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.apps.yarn.nodes import (ApplicationHistoryServer, NodeManager,
+                                   ResourceManager)
+from repro.common.cluster import MiniCluster
+from repro.common.httpserver import http_get
+from repro.common.ipc import RpcClient
+
+
+class MiniYARNCluster(MiniCluster):
+    """RM(s), NodeManagers, and an optional ApplicationHistoryServer."""
+
+    def __init__(self, conf: Any, num_nodemanagers: int = 2,
+                 num_resourcemanagers: int = 1, with_ahs: bool = False) -> None:
+        super().__init__()
+        self.conf = conf
+        self.resourcemanagers: List[ResourceManager] = []
+        for index in range(num_resourcemanagers):
+            self.resourcemanagers.append(self.add_node(
+                ResourceManager(conf, self, rm_id="rm%d" % index)))
+        self.nodemanagers: List[NodeManager] = []
+        for index in range(num_nodemanagers):
+            self.nodemanagers.append(self.add_node(
+                NodeManager(conf, self, nm_id="nm%d" % index)))
+        self.history_server: Optional[ApplicationHistoryServer] = None
+        if with_ahs:
+            self.history_server = self.add_node(
+                ApplicationHistoryServer(conf, self))
+
+    @property
+    def resourcemanager(self) -> ResourceManager:
+        return self.resourcemanagers[0]
+
+    def start(self) -> None:
+        for rm in self.resourcemanagers:
+            rm.start()
+        if self.history_server is not None:
+            self.history_server.start()
+        for nm in self.nodemanagers:
+            nm.start()
+
+
+class YarnClient:
+    """Client-side YARN API; all decisions come from the *test's* conf."""
+
+    def __init__(self, conf: Any, cluster: MiniYARNCluster) -> None:
+        self.conf = conf
+        self.cluster = cluster
+        self.rpc = RpcClient(conf, ipc=cluster.ipc)
+
+    def submit_application(self, app_id: str,
+                           rm: Optional[Any] = None) -> None:
+        rm = rm if rm is not None else self.cluster.resourcemanager
+        self.rpc.call(rm.rpc, "submit_application", app_id)
+
+    def request_container(self, app_id: str, memory_mb: int, vcores: int,
+                          rm: Optional[Any] = None) -> Dict[str, Any]:
+        rm = rm if rm is not None else self.cluster.resourcemanager
+        return self.rpc.call(rm.rpc, "allocate", app_id, memory_mb, vcores)
+
+    def get_delegation_token(self, rm: Optional[Any] = None) -> Dict[str, Any]:
+        rm = rm if rm is not None else self.cluster.resourcemanager
+        return self.rpc.call(rm.rpc, "get_delegation_token")
+
+    # ------------------------------------------------------------------
+    # timeline service
+    # ------------------------------------------------------------------
+    def publish_timeline_entity(self, entity: Dict[str, Any]) -> bool:
+        """Publish an entity *if this client's* configuration says the
+        timeline service exists (Table 3: yarn.timeline-service.enabled)."""
+        if not self.conf.get_bool("yarn.timeline-service.enabled"):
+            return False
+        self.cluster.history_server.post_entity(entity)
+        return True
+
+    def query_timeline_web(self, path: str = "/ws/v1/timeline") -> Any:
+        """Query the AHS web services using the scheme this client's
+        policy selects (Table 3: yarn.http.policy)."""
+        return http_get(self.cluster.history_server.http,
+                        self.conf.get_enum("yarn.http.policy"), path)

@@ -1,0 +1,12 @@
+"""YARN-flavoured Configuration bound to the merged YARN registry."""
+
+from __future__ import annotations
+
+from repro.apps.yarn.params import YARN_FULL_REGISTRY
+from repro.common.configuration import Configuration
+
+
+class YarnConfiguration(Configuration):
+    """``Configuration`` with yarn-default.xml + core-default.xml defaults."""
+
+    registry = YARN_FULL_REGISTRY

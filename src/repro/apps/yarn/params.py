@@ -1,0 +1,85 @@
+"""YARN parameter registry (curated subset of yarn-default.xml)."""
+
+from __future__ import annotations
+
+from repro.apps.commonlib.params import COMMON_REGISTRY
+from repro.common.params import (BOOL, DURATION_MS, ENUM, FLOAT, INT, SIZE,
+                                 STR, ParamRegistry)
+
+YARN_REGISTRY = ParamRegistry("yarn")
+_d = YARN_REGISTRY.define
+
+# ---------------------------------------------------------------------------
+# Table 3: heterogeneous-unsafe YARN parameters
+# ---------------------------------------------------------------------------
+_d("yarn.http.policy", ENUM, "HTTP_ONLY",
+   values=("HTTP_ONLY", "HTTPS_ONLY", "HTTP_AND_HTTPS"), tags=("wire-format",),
+   description="Schemes served by (and used against) YARN web endpoints.")
+_d("yarn.resourcemanager.delegation.token.renew-interval", DURATION_MS,
+   86400000, candidates=(86400000, 864000), tags=("inconsistency",),
+   description="Lifetime added to delegation tokens at issue/renew time.")
+_d("yarn.scheduler.maximum-allocation-mb", SIZE, 8192,
+   candidates=(8192, 1024), tags=("max-limit",),
+   description="Largest container memory the scheduler will grant.")
+_d("yarn.scheduler.maximum-allocation-vcores", INT, 4, candidates=(4, 1),
+   tags=("max-limit",),
+   description="Largest container vcore count the scheduler will grant.")
+_d("yarn.timeline-service.enabled", BOOL, False,
+   description="Whether clients publish to (and the AHS runs) the "
+               "timeline service.")
+
+# ---------------------------------------------------------------------------
+# the private-observability false positive (§7.1)
+# ---------------------------------------------------------------------------
+_d("yarn.nodemanager.vmem-pmem-ratio", FLOAT, 2.1, candidates=(2.1, 10.0),
+   description="Virtual/physical memory enforcement ratio (internal; the "
+               "YARN private-API FP).")
+
+# ---------------------------------------------------------------------------
+# safe parameters read by nodes
+# ---------------------------------------------------------------------------
+_d("yarn.nodemanager.resource.memory-mb", SIZE, 8192,
+   candidates=(8192, 16384),
+   description="Memory a NodeManager offers the scheduler.")
+_d("yarn.nodemanager.resource.cpu-vcores", INT, 8, candidates=(8, 16),
+   description="Vcores a NodeManager offers the scheduler.")
+_d("yarn.resourcemanager.scheduler.class", STR,
+   "org.apache.hadoop.yarn.server.resourcemanager.scheduler.capacity.CapacityScheduler",
+   description="Scheduler implementation.")
+_d("yarn.scheduler.minimum-allocation-mb", SIZE, 1024,
+   description="Smallest container memory granted.")
+_d("yarn.resourcemanager.am.max-attempts", INT, 2,
+   description="Global ApplicationMaster retry budget.")
+_d("yarn.nm.liveness-monitor.expiry-interval-ms", DURATION_MS, 600000,
+   description="Silence after which a NodeManager is lost.")
+_d("yarn.timeline-service.ttl-ms", DURATION_MS, 604800000,
+   description="Retention of timeline entities.")
+_d("yarn.acl.enable", BOOL, False,
+   description="Enable YARN ACLs.")
+_d("yarn.log-aggregation-enable", BOOL, False,
+   description="Aggregate container logs to the filesystem.")
+
+# ---------------------------------------------------------------------------
+# documented parameters never read by the corpus
+# ---------------------------------------------------------------------------
+_d("yarn.resourcemanager.address", STR, "0.0.0.0:8032",
+   description="RM client RPC address.")
+_d("yarn.resourcemanager.webapp.address", STR, "0.0.0.0:8088",
+   description="RM web address.")
+_d("yarn.nodemanager.address", STR, "0.0.0.0:0",
+   description="NM container-management address.")
+_d("yarn.nodemanager.local-dirs", STR, "/tmp/nm-local-dir",
+   description="NM local storage.")
+_d("yarn.nodemanager.log-dirs", STR, "/tmp/nm-logs",
+   description="NM log storage.")
+_d("yarn.resourcemanager.recovery.enabled", BOOL, False,
+   description="Recover RM state on restart.")
+_d("yarn.resourcemanager.ha.enabled", BOOL, False,
+   description="Enable ResourceManager HA.")
+_d("yarn.scheduler.fair.preemption", BOOL, False,
+   description="FairScheduler preemption.")
+_d("yarn.timeline-service.hostname", STR, "0.0.0.0",
+   description="Timeline service host.")
+
+#: YARN applications see Hadoop Common's parameters too (Table 1).
+YARN_FULL_REGISTRY = YARN_REGISTRY.merged_with(COMMON_REGISTRY)

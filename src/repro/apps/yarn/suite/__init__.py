@@ -1,0 +1,4 @@
+"""The YARN whole-system unit-test corpus ZebraConf reuses."""
+
+import repro.apps.yarn.suite.yarn_tests  # noqa: F401
+import repro.apps.yarn.suite.more_yarn_tests  # noqa: F401

@@ -1,0 +1,86 @@
+"""YARN corpus: additional scheduling and history scenarios."""
+
+from __future__ import annotations
+
+from repro.apps.yarn import MiniYARNCluster, YarnClient, YarnConfiguration
+from repro.common.errors import TestFailure
+from repro.core.registry import TestContext, unit_test
+
+
+@unit_test("yarn", "TestCapacityScheduler.testManySmallContainers",
+           tags=("scheduler",))
+def test_many_small_containers(ctx: TestContext) -> None:
+    """Small requests are always below any sane maximum; the scheduler
+    must grant them all."""
+    conf = YarnConfiguration()
+    with MiniYARNCluster(conf, num_nodemanagers=2) as cluster:
+        cluster.start()
+        client = YarnClient(conf, cluster)
+        client.submit_application("app_small_001")
+        for index in range(8):
+            granted = client.request_container("app_small_001",
+                                               memory_mb=256, vcores=1)
+            if granted["memory_mb"] != 256:
+                raise TestFailure("container %d granted wrong size" % index)
+        app = cluster.resourcemanager.applications["app_small_001"]
+        if len(app["containers"]) != 8:
+            raise TestFailure("scheduler lost containers: %d of 8"
+                              % len(app["containers"]))
+        placed_on = {c["node"] for c in app["containers"]}
+        if not placed_on:
+            raise TestFailure("containers placed on no NodeManager")
+
+
+@unit_test("yarn", "TestContainerAllocation.testReleaseFreesCapacity",
+           tags=("scheduler",))
+def test_release_frees_capacity(ctx: TestContext) -> None:
+    conf = YarnConfiguration()
+    with MiniYARNCluster(conf, num_nodemanagers=1) as cluster:
+        cluster.start()
+        client = YarnClient(conf, cluster)
+        client.submit_application("app_release_001")
+        big = min(conf.get_int("yarn.scheduler.maximum-allocation-mb"), 4096)
+        first = client.request_container("app_release_001", memory_mb=big,
+                                         vcores=1)
+        client.rpc.call(cluster.resourcemanager.rpc, "release_container",
+                        "app_release_001", first)
+        second = client.request_container("app_release_001", memory_mb=big,
+                                          vcores=1)
+        if second["memory_mb"] != big:
+            raise TestFailure("capacity not reclaimed after release")
+
+
+@unit_test("yarn", "TestRMDelegationTokens.testSingleRMMonotonic",
+           tags=("security",))
+def test_single_rm_tokens_monotonic(ctx: TestContext) -> None:
+    """Within one ResourceManager, later tokens never expire earlier —
+    the single-node baseline of the Table-3 renew-interval anomaly."""
+    conf = YarnConfiguration()
+    with MiniYARNCluster(conf, num_nodemanagers=1) as cluster:
+        cluster.start()
+        client = YarnClient(conf, cluster)
+        previous = client.get_delegation_token()
+        for _ in range(3):
+            cluster.run_for(5.0)
+            token = client.get_delegation_token()
+            if token["expiry_time"] < previous["expiry_time"]:
+                raise TestFailure("token %d expires before its predecessor"
+                                  % token["token_id"])
+            previous = token
+
+
+@unit_test("yarn", "TestTimelineEntities.testQueryReturnsPublished",
+           tags=("timeline",))
+def test_timeline_query_returns_published(ctx: TestContext) -> None:
+    conf = YarnConfiguration()
+    with MiniYARNCluster(conf, num_nodemanagers=1, with_ahs=True) as cluster:
+        cluster.start()
+        client = YarnClient(conf, cluster)
+        published = 0
+        for index in range(3):
+            if client.publish_timeline_entity({"entity": "e%d" % index}):
+                published += 1
+        entities = client.query_timeline_web()
+        if len(entities) != published:
+            raise TestFailure("timeline stored %d of %d published entities"
+                              % (len(entities), published))

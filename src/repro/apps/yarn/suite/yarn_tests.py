@@ -1,0 +1,125 @@
+"""YARN corpus: scheduling limits, delegation tokens, timeline service."""
+
+from __future__ import annotations
+
+from repro.apps.yarn import MiniYARNCluster, YarnClient, YarnConfiguration
+from repro.common.errors import TestFailure
+from repro.core.registry import TestContext, unit_test
+
+
+@unit_test("yarn", "TestSchedulerLimits.testMaxAllocationRequest",
+           tags=("scheduler",))
+def test_max_allocation_request(ctx: TestContext) -> None:
+    """Request a container as large as *the client's* configured maximum;
+    the ResourceManager validates against its own (Table 3:
+    yarn.scheduler.maximum-allocation-mb / -vcores)."""
+    conf = YarnConfiguration()
+    with MiniYARNCluster(conf, num_nodemanagers=2) as cluster:
+        cluster.start()
+        client = YarnClient(conf, cluster)
+        client.submit_application("app_limits_001")
+        container = client.request_container(
+            "app_limits_001",
+            memory_mb=conf.get_int("yarn.scheduler.maximum-allocation-mb"),
+            vcores=conf.get_int("yarn.scheduler.maximum-allocation-vcores"))
+        if container["memory_mb"] <= 0:
+            raise TestFailure("granted container has no memory")
+
+
+@unit_test("yarn", "TestRMDelegationTokens.testRenewalOrdering",
+           tags=("security", "inconsistency"))
+def test_delegation_token_ordering(ctx: TestContext) -> None:
+    """Tokens issued later must not expire before tokens issued earlier
+    (Table 3: yarn.resourcemanager.delegation.token.renew-interval —
+    'End users may observe newer tokens expire earlier than prior
+    tokens')."""
+    conf = YarnConfiguration()
+    with MiniYARNCluster(conf, num_nodemanagers=1,
+                         num_resourcemanagers=2) as cluster:
+        cluster.start()
+        client = YarnClient(conf, cluster)
+        first = client.get_delegation_token(rm=cluster.resourcemanagers[0])
+        cluster.run_for(10.0)
+        second = client.get_delegation_token(rm=cluster.resourcemanagers[1])
+        if second["expiry_time"] < first["expiry_time"]:
+            raise TestFailure(
+                "token %d issued at t=%.0f expires at %.0f, before token %d "
+                "issued at t=%.0f (expires %.0f)"
+                % (second["token_id"], second["issue_time"],
+                   second["expiry_time"], first["token_id"],
+                   first["issue_time"], first["expiry_time"]))
+
+
+@unit_test("yarn", "TestTimelineService.testPublishEntity",
+           tags=("timeline",))
+def test_timeline_publish(ctx: TestContext) -> None:
+    """Publish an entity if the client's configuration says the timeline
+    service exists (Table 3: yarn.timeline-service.enabled)."""
+    conf = YarnConfiguration()
+    with MiniYARNCluster(conf, num_nodemanagers=1, with_ahs=True) as cluster:
+        cluster.start()
+        client = YarnClient(conf, cluster)
+        published = client.publish_timeline_entity(
+            {"entity": "app_timeline_001", "type": "YARN_APPLICATION"})
+        if published and not cluster.history_server.entities:
+            raise TestFailure("published entity vanished")
+
+
+@unit_test("yarn", "TestAHSWebServices.testTimelineWebQuery",
+           tags=("timeline", "web"))
+def test_timeline_web_query(ctx: TestContext) -> None:
+    """Query the AHS web services; client and server each pick their
+    scheme from their own policy (Table 3: yarn.http.policy)."""
+    conf = YarnConfiguration()
+    with MiniYARNCluster(conf, num_nodemanagers=1, with_ahs=True) as cluster:
+        cluster.start()
+        client = YarnClient(conf, cluster)
+        entities = client.query_timeline_web()
+        if not isinstance(entities, list):
+            raise TestFailure("timeline web query returned garbage")
+
+
+@unit_test("yarn", "TestNodeManagerResource.testRegistration",
+           tags=("nodemanager",))
+def test_nodemanager_registration(ctx: TestContext) -> None:
+    conf = YarnConfiguration()
+    with MiniYARNCluster(conf, num_nodemanagers=3) as cluster:
+        cluster.start()
+        rm = cluster.resourcemanager
+        if len(rm.nodemanagers) != 3:
+            raise TestFailure("expected 3 registered NodeManagers, RM has %d"
+                              % len(rm.nodemanagers))
+
+
+@unit_test("yarn", "TestContainersMonitor.testVmemRatioInternals",
+           observability="private", tags=("internals",),
+           notes="§7.1 FP: asserts a NodeManager-internal field against "
+                 "the test's configuration.")
+def test_vmem_ratio_internals(ctx: TestContext) -> None:
+    conf = YarnConfiguration()
+    with MiniYARNCluster(conf, num_nodemanagers=1) as cluster:
+        cluster.start()
+        expected = conf.get_float("yarn.nodemanager.vmem-pmem-ratio")
+        if cluster.nodemanagers[0]._vmem_pmem_ratio != expected:
+            raise TestFailure("vmem enforcement internals diverged from "
+                              "the test's configuration")
+
+
+@unit_test("yarn", "TestRMRestart.testRacyRecovery", flaky=True,
+           tags=("flaky",),
+           notes="Nondeterministic: recovery races registration ~20% of "
+                 "trials.")
+def test_racy_rm_recovery(ctx: TestContext) -> None:
+    conf = YarnConfiguration()
+    with MiniYARNCluster(conf, num_nodemanagers=2) as cluster:
+        cluster.start()
+        if ctx.maybe(0.2):
+            raise TestFailure("RM recovery raced NodeManager registration "
+                              "and lost (timing-dependent)")
+
+
+@unit_test("yarn", "TestResourceCalculator.testUnits", tags=("util",))
+def test_resource_units(ctx: TestContext) -> None:
+    """Node-free sanity test, filtered by the pre-run."""
+    if 1024 * 8 != 8192:
+        raise TestFailure("arithmetic broke")

@@ -1,0 +1,249 @@
+"""Command-line interface: run ZebraConf campaigns from a shell.
+
+Usage (installed as ``python -m repro``)::
+
+    python -m repro list-apps
+    python -m repro list-params hdfs --unsafe-only
+    python -m repro corpus mapreduce
+    python -m repro campaign yarn --json yarn.json --trace yarn-trace.jsonl
+    python -m repro evaluate --json full.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional
+
+from repro.apps import catalog
+from repro.core.orchestrator import Campaign, CampaignConfig, run_full_campaign
+from repro.core.registry import load_all_suites
+from repro.core.report import (AppReport, app_report_to_dict,
+                               campaign_report_to_dict, render_stage_counts,
+                               render_summary, render_table,
+                               render_unsafe_params)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ZebraConf: find heterogeneous-unsafe configuration "
+                    "parameters by re-running whole-system unit tests with "
+                    "heterogeneous configurations.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-apps", help="list the target applications")
+
+    params = sub.add_parser("list-params",
+                            help="list an application's parameter registry")
+    params.add_argument("app", choices=catalog.APP_NAMES)
+    params.add_argument("--unsafe-only", action="store_true",
+                        help="only the paper's Table-3 parameters")
+
+    corpus = sub.add_parser("corpus",
+                            help="list an application's unit-test corpus")
+    corpus.add_argument("app", choices=catalog.APP_NAMES)
+
+    why = sub.add_parser("why",
+                         help="explain a parameter: kind, default, and the "
+                              "paper's failure mechanism if it is in Table 3")
+    why.add_argument("param")
+
+    campaign = sub.add_parser("campaign",
+                              help="run ZebraConf on one application")
+    campaign.add_argument("app", choices=catalog.APP_NAMES)
+    _add_campaign_flags(campaign)
+
+    evaluate = sub.add_parser("evaluate",
+                              help="run the paper's full evaluation "
+                                   "(all six applications)")
+    _add_campaign_flags(evaluate)
+    return parser
+
+
+def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=1,
+                        help="parallel worker threads (default 1; unit "
+                             "tests are CPU-bound simulations, so threads "
+                             "mainly demonstrate independence — fan out "
+                             "across processes/machines for real speedup)")
+    parser.add_argument("--pool-size", type=int, default=None,
+                        help="max pooled parameters per run "
+                             "(default: all, the paper's setting)")
+    parser.add_argument("--blacklist-threshold", type=int, default=3,
+                        help="distinct failing tests before a parameter is "
+                             "marked unsafe outright (default 3)")
+    parser.add_argument("--disable-ipc-sharing", action="store_true",
+                        help="apply the paper's one-line Hadoop IPC fix")
+    parser.add_argument("--param", action="append", dest="params",
+                        metavar="NAME",
+                        help="restrict testing to this parameter "
+                             "(repeatable); e.g. vet a planned "
+                             "reconfiguration before rolling it out")
+    parser.add_argument("--json", metavar="PATH",
+                        help="also write the machine-readable report here")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="write a JSONL trace of every pre-run and "
+                             "instance decision here")
+    parser.add_argument("--compare", metavar="BASELINE_JSON",
+                        help="diff the fresh report against a stored "
+                             "--json baseline; exit 1 on new unsafe "
+                             "parameters (regressions)")
+    parser.add_argument("--markdown", metavar="PATH",
+                        help="also write the report as a markdown document")
+
+
+def _config(args: argparse.Namespace) -> CampaignConfig:
+    from repro.core.tracelog import TraceLog
+    only = frozenset(args.params) if args.params else None
+    return CampaignConfig(workers=args.workers,
+                          max_pool_size=args.pool_size,
+                          blacklist_threshold=args.blacklist_threshold,
+                          disable_ipc_sharing=args.disable_ipc_sharing,
+                          only_params=only,
+                          trace=TraceLog() if args.trace else None)
+
+
+def _write_trace(args: argparse.Namespace, config: CampaignConfig) -> None:
+    if args.trace and config.trace is not None:
+        count = config.trace.write_jsonl(args.trace)
+        print("wrote %d trace events to %s" % (count, args.trace))
+
+
+def _print_app_report(report: AppReport) -> None:
+    print("instance counts per stage:")
+    for stage, count in report.stage_counts.rows():
+        print("  %-32s %12s" % (stage, format(count, ",")))
+    print()
+    rows = [[v.param,
+             "TRUE PROBLEM" if v.is_true_problem else "false positive",
+             v.category if v.is_true_problem else v.fp_reason]
+            for v in report.verdicts]
+    if rows:
+        print(render_table(["Parameter", "Verdict", "Category / FP cause"],
+                           rows))
+    else:
+        print("no heterogeneous-unsafe parameters reported")
+    print("\n%d reported (%d true problems, %d false positives); "
+          "%d executions, %.1f modelled machine hours"
+          % (len(report.verdicts), len(report.true_problems),
+             len(report.false_positives), report.executions,
+             report.machine_time_s / 3600))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list-apps":
+        corpus = load_all_suites()
+        rows = [[app, len(corpus.for_app(app)),
+                 len(catalog.spec_for(app).registry)]
+                for app in catalog.APP_NAMES]
+        print(render_table(["App", "#unit tests", "#parameters"], rows))
+        return 0
+
+    if args.command == "list-params":
+        spec = catalog.spec_for(args.app)
+        unsafe = set(spec.expected_unsafe)
+        rows = []
+        for param in spec.registry:
+            if args.unsafe_only and param.name not in unsafe:
+                continue
+            rows.append([param.name, param.kind, repr(param.default),
+                         "UNSAFE (Table 3)" if param.name in unsafe else ""])
+        print(render_table(["Parameter", "Kind", "Default", ""], rows))
+        return 0
+
+    if args.command == "corpus":
+        corpus = load_all_suites()
+        rows = [[t.name,
+                 "flaky" if t.flaky else "",
+                 "" if t.realistic else "unrealistic",
+                 t.observability if t.observability != "public" else ""]
+                for t in corpus.for_app(args.app)]
+        print(render_table(["Unit test", "", "", ""], rows))
+        return 0
+
+    if args.command == "why":
+        definition = None
+        for app in catalog.APP_NAMES:
+            definition = catalog.spec_for(app).registry.maybe_get(args.param)
+            if definition is not None:
+                break
+        if definition is None:
+            print("unknown parameter %r" % args.param, file=sys.stderr)
+            return 1
+        print("parameter : %s" % definition.name)
+        print("section   : %s" % catalog.section_for_param(definition.name))
+        print("kind      : %s   default: %r" % (definition.kind,
+                                                definition.default))
+        if definition.description:
+            print("about     : %s" % definition.description)
+        why_text = catalog.TABLE3_WHY.get(definition.name)
+        if why_text is not None:
+            print("TABLE 3   : heterogeneous-UNSAFE — %s" % why_text)
+        else:
+            print("table 3   : not listed (no known heterogeneous hazard)")
+        return 0
+
+    if args.command == "campaign":
+        spec = catalog.spec_for(args.app)
+        config = _config(args)
+        started = time.time()
+        report = Campaign(args.app, spec.registry,
+                          dependency_rules=spec.dependency_rules,
+                          config=config).run()
+        print("campaign over %r finished in %.1fs\n"
+              % (args.app, time.time() - started))
+        _print_app_report(report)
+        if args.json:
+            with open(args.json, "w") as handle:
+                json.dump(app_report_to_dict(report), handle, indent=2)
+            print("\nwrote %s" % args.json)
+        if args.markdown:
+            from repro.core.reportmd import app_report_markdown
+            with open(args.markdown, "w") as handle:
+                handle.write(app_report_markdown(report))
+            print("wrote %s" % args.markdown)
+        _write_trace(args, config)
+        if args.compare:
+            from repro.core.baseline import compare_to_baseline, load_baseline
+            diff = compare_to_baseline(report, load_baseline(args.compare))
+            print("\n" + diff.render())
+            if diff.has_regressions:
+                return 1
+        return 0
+
+    if args.command == "evaluate":
+        if args.compare:
+            print("--compare works with per-application baselines; use "
+                  "`repro campaign <app> --compare ...`", file=sys.stderr)
+            return 2
+        config = _config(args)
+        started = time.time()
+        report = run_full_campaign(config)
+        print("full evaluation finished in %.1fs\n" % (time.time() - started))
+        print(render_unsafe_params(report))
+        print()
+        print(render_stage_counts(report.apps))
+        print()
+        print(render_summary(report))
+        if args.json:
+            with open(args.json, "w") as handle:
+                json.dump(campaign_report_to_dict(report), handle, indent=2)
+            print("\nwrote %s" % args.json)
+        if args.markdown:
+            from repro.core.reportmd import campaign_report_markdown
+            with open(args.markdown, "w") as handle:
+                handle.write(campaign_report_markdown(report))
+            print("wrote %s" % args.markdown)
+        _write_trace(args, config)
+        return 0
+
+    return 2  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

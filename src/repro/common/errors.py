@@ -1,0 +1,106 @@
+"""Exception taxonomy shared by the simulated cloud systems.
+
+The hierarchy deliberately mirrors the failure classes that the paper's
+Table 3 attributes to heterogeneous configurations: wire-format decode
+failures, security handshake failures, timeouts, and limit violations.
+Unit tests in the per-application corpora treat *any* raised exception as
+a test failure, exactly like a JUnit assertion error or uncaught exception.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the simulated systems."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is missing, malformed, or locally invalid."""
+
+
+class WireError(ReproError):
+    """Base class for byte-level wire-format problems."""
+
+
+class DecodeError(WireError):
+    """Peer sent bytes this node cannot decode (codec/format mismatch)."""
+
+
+class ChecksumError(WireError):
+    """Data checksum verification failed."""
+
+
+class HandshakeError(ReproError):
+    """Security/protocol negotiation between two peers failed."""
+
+
+class SaslError(HandshakeError):
+    """SASL protection-level negotiation failed."""
+
+
+class SslError(HandshakeError):
+    """SSL/TLS layering mismatch (one side speaks TLS, the other does not)."""
+
+
+class AccessTokenError(ReproError):
+    """A block access token or delegation token was rejected."""
+
+
+class TokenExpiredError(AccessTokenError):
+    """A delegation token expired earlier than the holder expected."""
+
+
+class SocketTimeout(ReproError):
+    """A read/connect deadline elapsed in simulated time."""
+
+
+class RpcError(ReproError):
+    """An RPC failed for a reason other than timeout or handshake."""
+
+
+class ConnectError(RpcError):
+    """Client could not establish a connection to the server."""
+
+
+class NodeStateError(ReproError):
+    """A node is in the wrong lifecycle state for the requested operation."""
+
+
+class LimitExceededError(ReproError):
+    """A server-side maximum (path length, directory items, ...) was hit."""
+
+
+class PlacementPolicyError(ReproError):
+    """A block placement / upgrade-domain policy rejected a block move."""
+
+
+class RegistrationError(ReproError):
+    """A worker node failed to register with its master."""
+
+
+class BalancerTimeout(ReproError):
+    """The HDFS balancer gave up waiting for progress."""
+
+
+class ShuffleError(ReproError):
+    """A reduce task failed to fetch or decode map output."""
+
+
+class CommitError(ReproError):
+    """An output-commit protocol produced an inconsistent result."""
+
+
+class SnapshotError(ReproError):
+    """A snapshot operation was declined by the NameNode."""
+
+
+class AllocationError(ReproError):
+    """A resource request exceeded the scheduler's configured maximum."""
+
+
+class SlotAllocationError(ReproError):
+    """Flink JobManager could not allocate a task slot."""
+
+
+class TestFailure(AssertionError, ReproError):
+    """Raised by corpus unit tests when an application-level check fails."""

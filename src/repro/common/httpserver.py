@@ -1,0 +1,64 @@
+"""http/https policy-aware embedded web endpoints.
+
+``dfs.http.policy`` and ``yarn.http.policy`` select which schemes a
+daemon's web server binds (HTTP_ONLY, HTTPS_ONLY, HTTP_AND_HTTPS) and
+which scheme *clients* use to reach it.  A client whose policy says
+"https" cannot connect to a server that only bound http — the Table-3
+failures for DFSck and the YARN Timeline web services.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.common.errors import ConfigurationError, ConnectError
+
+HTTP_POLICIES = ("HTTP_ONLY", "HTTPS_ONLY", "HTTP_AND_HTTPS")
+
+
+def schemes_served(policy: str) -> Tuple[str, ...]:
+    if policy == "HTTP_ONLY":
+        return ("http",)
+    if policy == "HTTPS_ONLY":
+        return ("https",)
+    if policy == "HTTP_AND_HTTPS":
+        return ("http", "https")
+    raise ConfigurationError("invalid http policy %r" % policy)
+
+
+def client_scheme(policy: str) -> str:
+    """The scheme a client-side tool picks under a given policy."""
+    if policy == "HTTPS_ONLY":
+        return "https"
+    if policy in ("HTTP_ONLY", "HTTP_AND_HTTPS"):
+        return "http"
+    raise ConfigurationError("invalid http policy %r" % policy)
+
+
+class HttpServer:
+    """A daemon's embedded web server (one per NameNode, RM, Timeline...)."""
+
+    def __init__(self, owner: str, policy: str) -> None:
+        self.owner = owner
+        self.schemes = schemes_served(policy)
+        self._handlers: Dict[str, Callable[..., Any]] = {}
+        self.requests_served: List[Tuple[str, str]] = []
+
+    def route(self, path: str, handler: Callable[..., Any]) -> None:
+        self._handlers[path] = handler
+
+    def handle(self, scheme: str, path: str, *args: Any, **kwargs: Any) -> Any:
+        if scheme not in self.schemes:
+            raise ConnectError(
+                "connection refused: %s serves %s but client used %s://"
+                % (self.owner, "/".join(self.schemes), scheme))
+        if path not in self._handlers:
+            raise ConnectError("404: %s has no route %s" % (self.owner, path))
+        self.requests_served.append((scheme, path))
+        return self._handlers[path](*args, **kwargs)
+
+
+def http_get(server: HttpServer, client_policy: str, path: str,
+             *args: Any, **kwargs: Any) -> Any:
+    """Issue a request using the scheme the *client's* policy selects."""
+    return server.handle(client_scheme(client_policy), path, *args, **kwargs)

@@ -1,0 +1,157 @@
+"""Security primitives: block access tokens, data-transfer encryption keys,
+and delegation tokens.
+
+These back three Table-3 behaviours:
+
+* ``dfs.block.access.token.enable`` — the NameNode only distributes block
+  token keys when *it* has tokens enabled; a DataNode with tokens enabled
+  cannot register its block pool without keys.
+* ``dfs.encrypt.data.transfer``     — the NameNode only rolls data
+  encryption keys when *it* encrypts; a DataNode expecting encrypted
+  transfers cannot recompute a key it never received.
+* ``yarn.resourcemanager.delegation.token.renew-interval`` — each issuer
+  stamps expiry with *its own* interval, so after lowering the value on
+  one ResourceManager, newly issued tokens expire before older ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.errors import AccessTokenError, HandshakeError, TokenExpiredError
+
+
+@dataclass(frozen=True)
+class BlockToken:
+    """Capability to access one block, minted under a specific key."""
+
+    block_id: int
+    key_id: int
+    user: str = "client"
+
+
+class BlockTokenSecretManager:
+    """NameNode-side block token key roller and token minter."""
+
+    def __init__(self, enabled: bool) -> None:
+        self.enabled = enabled
+        self._key_id = 0
+
+    def current_keys(self) -> Optional[List[int]]:
+        """Keys shipped to DataNodes at registration; None when disabled."""
+        if not self.enabled:
+            return None
+        return [self._key_id, self._key_id + 1]
+
+    def roll_key(self) -> None:
+        self._key_id += 1
+
+    def mint(self, block_id: int) -> Optional[BlockToken]:
+        if not self.enabled:
+            return None
+        return BlockToken(block_id=block_id, key_id=self._key_id)
+
+
+class BlockTokenVerifier:
+    """DataNode-side verifier; holds keys received from the NameNode."""
+
+    def __init__(self, enabled: bool) -> None:
+        self.enabled = enabled
+        self.keys: List[int] = []
+
+    def install_keys(self, keys: Optional[List[int]]) -> None:
+        if self.enabled and keys is None:
+            raise AccessTokenError(
+                "DataNode requires block access tokens but the NameNode "
+                "distributed no block keys; cannot register block pool")
+        self.keys = list(keys or [])
+
+    def verify(self, token: Optional[BlockToken], block_id: int) -> None:
+        if not self.enabled:
+            return
+        if token is None:
+            raise AccessTokenError("block access token required for block %d"
+                                   % block_id)
+        if token.block_id != block_id or token.key_id not in self.keys:
+            raise AccessTokenError("invalid block token for block %d" % block_id)
+
+
+@dataclass(frozen=True)
+class DataEncryptionKey:
+    key_id: int
+    material: bytes
+
+
+class DataEncryptionKeyManager:
+    """NameNode-side encryption key roller for dfs.encrypt.data.transfer."""
+
+    def __init__(self, enabled: bool) -> None:
+        self.enabled = enabled
+        self._key_id = 100
+        self._material = b"k%03d" % self._key_id
+
+    def current_key(self) -> Optional[DataEncryptionKey]:
+        if not self.enabled:
+            return None
+        return DataEncryptionKey(self._key_id, self._material)
+
+    def roll(self) -> None:
+        self._key_id += 1
+        self._material = b"k%03d" % self._key_id
+
+
+class DataEncryptionKeyStore:
+    """DataNode-side key store, synced from the NameNode at registration."""
+
+    def __init__(self, enabled: bool) -> None:
+        self.enabled = enabled
+        self._keys: Dict[int, bytes] = {}
+        #: the newest installed key, used when *sending* encrypted streams.
+        self.current: Optional[DataEncryptionKey] = None
+
+    def install(self, key: Optional[DataEncryptionKey]) -> None:
+        if key is not None:
+            self._keys[key.key_id] = key.material
+            self.current = key
+
+    def lookup(self, key_id: int) -> bytes:
+        if key_id not in self._keys:
+            raise HandshakeError(
+                "DataNode cannot re-compute encryption key: block key %d is "
+                "missing from its key store" % key_id)
+        return self._keys[key_id]
+
+    def has_keys(self) -> bool:
+        return bool(self._keys)
+
+
+@dataclass(frozen=True)
+class DelegationToken:
+    token_id: int
+    issue_time: float
+    expiry_time: float
+
+    def check_valid(self, now: float) -> None:
+        if now > self.expiry_time:
+            raise TokenExpiredError(
+                "delegation token %d expired at %.0f (now %.0f)"
+                % (self.token_id, self.expiry_time, now))
+
+
+class DelegationTokenManager:
+    """Issues delegation tokens with expiry = issue time + renew interval."""
+
+    def __init__(self, renew_interval_fn) -> None:
+        self.renew_interval_fn = renew_interval_fn
+        self._next_id = 1
+        self.issued: List[DelegationToken] = []
+
+    def issue(self, now: float) -> DelegationToken:
+        token = DelegationToken(
+            token_id=self._next_id,
+            issue_time=now,
+            expiry_time=now + self.renew_interval_fn())
+        self._next_id += 1
+        self.issued.append(token)
+        return token

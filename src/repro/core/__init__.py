@@ -1,0 +1,29 @@
+"""ZebraConf core: ConfAgent, TestGenerator, TestRunner, orchestration."""
+
+from repro.core.confagent import (NO_OVERRIDE, UNIT_TEST, ConfAgent, NullAgent,
+                                  current_agent)
+from repro.core.depinfer import (InferredDependency, infer_dependencies,
+                                 infer_rules_for_corpus)
+from repro.core.integration import FileAssignment, integration_session
+from repro.core.orchestrator import (Campaign, CampaignConfig,
+                                     application_campaigns, run_full_campaign)
+from repro.core.pooling import FrequentFailureTracker, PooledTester
+from repro.core.prerun import TestProfile, prerun_corpus, prerun_test
+from repro.core.registry import CORPUS, Corpus, TestContext, UnitTest, unit_test
+from repro.core.report import AppReport, CampaignReport
+from repro.core.runner import TestRunner
+from repro.core.testgen import (DependencyRule, HeteroAssignment,
+                                ParamAssignment, TestGenerator, TestInstance)
+from repro.core.triage import ParamVerdict, triage_param, triage_report
+
+__all__ = [
+    "ConfAgent", "NullAgent", "current_agent", "NO_OVERRIDE", "UNIT_TEST",
+    "Campaign", "CampaignConfig", "application_campaigns", "run_full_campaign",
+    "FrequentFailureTracker", "PooledTester", "TestProfile", "prerun_corpus",
+    "prerun_test", "CORPUS", "Corpus", "TestContext", "UnitTest", "unit_test",
+    "AppReport", "CampaignReport", "TestRunner", "DependencyRule",
+    "HeteroAssignment", "ParamAssignment", "TestGenerator", "TestInstance",
+    "ParamVerdict", "triage_param", "triage_report", "InferredDependency",
+    "infer_dependencies", "infer_rules_for_corpus", "FileAssignment",
+    "integration_session",
+]

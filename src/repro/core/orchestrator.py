@@ -1,0 +1,261 @@
+"""Campaign orchestration: pre-run -> generate -> pool -> run -> triage.
+
+:class:`Campaign` drives ZebraConf end-to-end for one application, and
+:func:`run_full_campaign` reproduces the paper's whole evaluation across
+all target applications.  Unit tests are independent, so campaigns can
+fan out across a thread pool (the paper used up to 100 machines; §4
+"Test in parallel").
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common.node import NODE_TYPES
+from repro.common.params import ParamRegistry
+from repro.core.confagent import UNIT_TEST
+from repro.core.pooling import FrequentFailureTracker, PooledTester, PoolStats
+from repro.core.prerun import PreRunSummary, TestProfile, prerun_corpus
+from repro.core.registry import CORPUS, Corpus, UnitTest
+from repro.core.report import (AppReport, CampaignReport, HypothesisTestingStats,
+                               StageCounts)
+from repro.core.runner import (CONFIRMED_UNSAFE, FLAKY_DISMISSED, InstanceResult,
+                               TestRunner)
+from repro.core.stats import DEFAULT_ALPHA
+from repro.core.testgen import DependencyRule, TestGenerator
+from repro.core.triage import ParamVerdict, triage_report
+
+
+@dataclass
+class CampaignConfig:
+    """Tunables; defaults reproduce the paper's settings."""
+
+    alpha: float = DEFAULT_ALPHA
+    max_trials: int = 40
+    blacklist_threshold: int = 3
+    max_value_pairs: int = 3
+    #: None = pool size equals the number of parameters (paper's setting).
+    max_pool_size: Optional[int] = None
+    #: modelled seconds of machine time per unit-test execution.
+    run_cost_s: float = 60.0
+    workers: int = 1
+    #: the paper's one-line Hadoop fix for the shared IPC component; off by
+    #: default so campaigns reproduce the IPC false positives first.
+    disable_ipc_sharing: bool = False
+    #: restrict the campaign to these parameters (None = all).  Useful to
+    #: vet a specific reconfiguration plan before rolling it out.
+    only_params: Optional[frozenset] = None
+    #: optional structured event log (see repro.core.tracelog).
+    trace: Optional[Any] = None
+
+    def param_allowed(self, name: str) -> bool:
+        return self.only_params is None or name in self.only_params
+
+
+class Campaign:
+    """ZebraConf campaign over one application's corpus and registry."""
+
+    def __init__(self, app: str, registry: ParamRegistry,
+                 tests: Optional[Sequence[UnitTest]] = None,
+                 dependency_rules: Iterable[DependencyRule] = (),
+                 config: Optional[CampaignConfig] = None,
+                 corpus: Corpus = CORPUS) -> None:
+        self.app = app
+        self.registry = registry
+        self.tests = list(tests) if tests is not None else corpus.for_app(app)
+        self.config = config if config is not None else CampaignConfig()
+        self.generator = TestGenerator(registry,
+                                       dependency_rules=dependency_rules,
+                                       max_value_pairs=self.config.max_value_pairs)
+        self.tracker = FrequentFailureTracker(self.config.blacklist_threshold)
+
+    # ------------------------------------------------------------------
+    def run(self) -> AppReport:
+        from repro.common.ipc import set_ipc_sharing
+        previous_sharing = set_ipc_sharing(not self.config.disable_ipc_sharing)
+        try:
+            return self._run()
+        finally:
+            set_ipc_sharing(previous_sharing)
+
+    def _run(self) -> AppReport:
+        profiles = prerun_corpus(self.tests)
+        usable = [p for p in profiles if p.usable]
+        stage_counts = self._stage_counts(profiles, usable)
+
+        results: List[InstanceResult] = []
+        pool_stats = PoolStats()
+        executions = len(profiles)  # pre-run executions count as runs too
+
+        if self.config.workers > 1:
+            with ThreadPoolExecutor(max_workers=self.config.workers) as pool:
+                outcomes = list(pool.map(self._run_test_profile, usable))
+        else:
+            outcomes = [self._run_test_profile(p) for p in usable]
+        for test_results, test_stats, test_executions in outcomes:
+            results.extend(test_results)
+            _merge_stats(pool_stats, test_stats)
+            executions += test_executions
+
+        stage_counts.after_pooling = pool_stats.total_instances_run
+        hypothesis_stats = _hypothesis_stats(results)
+        results_by_param = _group_confirmed(results)
+        verdicts = triage_report(results_by_param, self.registry,
+                                 blacklisted=self.tracker.blacklisted)
+        self._emit_trace(profiles, results, verdicts, executions)
+        return AppReport(
+            app=self.app,
+            stage_counts=stage_counts,
+            prerun_summary=PreRunSummary.from_profiles(profiles),
+            pool_stats=pool_stats,
+            hypothesis_stats=hypothesis_stats,
+            verdicts=verdicts,
+            results_by_param=results_by_param,
+            blacklisted=tuple(sorted(self.tracker.blacklisted)),
+            executions=executions,
+            machine_time_s=executions * self.config.run_cost_s)
+
+    # ------------------------------------------------------------------
+    def _emit_trace(self, profiles, results, verdicts, executions) -> None:
+        trace = self.config.trace
+        if trace is None:
+            return
+        for profile in profiles:
+            trace.emit("prerun", app=self.app, test=profile.test.full_name,
+                       usable=profile.usable,
+                       groups=dict(profile.groups),
+                       uncertain_params=sorted(profile.uncertain_params),
+                       baseline_error=profile.baseline_error)
+        for result in results:
+            tally = result.tally
+            trace.emit("instance", app=self.app,
+                       test=result.instance.test.full_name,
+                       params=list(result.instance.params),
+                       group=result.instance.group,
+                       strategy=result.instance.strategy,
+                       verdict=result.verdict,
+                       hetero_error=result.hetero_error,
+                       trials=None if tally is None else {
+                           "hetero": [tally.hetero_failures,
+                                      tally.hetero_trials],
+                           "homo": [tally.homo_failures, tally.homo_trials],
+                           "p_value": tally.p_value()})
+        for param in sorted(self.tracker.blacklisted):
+            trace.emit("blacklist", app=self.app, param=param,
+                       failing_tests=self.tracker.failure_count(param))
+        trace.emit("campaign", app=self.app, executions=executions,
+                   reported=[v.param for v in verdicts],
+                   true_problems=[v.param for v in verdicts
+                                  if v.is_true_problem])
+
+    # ------------------------------------------------------------------
+    def _run_test_profile(self, profile: TestProfile
+                          ) -> Tuple[List[InstanceResult], PoolStats, int]:
+        """All pooled testing for one unit test (parallelism granule)."""
+        runner = TestRunner(alpha=self.config.alpha,
+                            max_trials=self.config.max_trials,
+                            run_cost_s=self.config.run_cost_s)
+        tester = PooledTester(runner, tracker=self.tracker,
+                              max_pool_size=self.config.max_pool_size)
+        results: List[InstanceResult] = []
+        for group in sorted(profile.groups):
+            group_size = profile.groups[group]
+            params = sorted(name for name in profile.testable_params(group)
+                            if name in self.registry
+                            and self.config.param_allowed(name))
+            if not params:
+                continue
+            pairs_by_param = {name: self.generator.value_pairs(self.registry.get(name))
+                              for name in params}
+            layers = max((len(p) for p in pairs_by_param.values()), default=0)
+            for strategy in self.generator.strategies_for_group(group_size):
+                for layer in range(layers):
+                    units = [self.generator.assignment(
+                                 self.registry.get(name), group, strategy,
+                                 pairs_by_param[name][layer])
+                             for name in params
+                             if layer < len(pairs_by_param[name])]
+                    results.extend(tester.run(profile.test, group, strategy, units))
+        return results, tester.stats, runner.executions
+
+    # ------------------------------------------------------------------
+    def _stage_counts(self, profiles: Sequence[TestProfile],
+                      usable: Sequence[TestProfile]) -> StageCounts:
+        node_types = NODE_TYPES.get(self.app, []) or [UNIT_TEST]
+        counts = StageCounts()
+        counts.original = self.generator.count_original_instances(
+            len(profiles), node_types)
+        for profile in usable:
+            for group, size in profile.groups.items():
+                strategies = len(self.generator.strategies_for_group(size))
+                for name in profile.params_by_group.get(group, set()):
+                    param = self.registry.maybe_get(name)
+                    if param is None or not self.config.param_allowed(name):
+                        continue
+                    instances = len(self.generator.value_pairs(param)) * strategies
+                    counts.after_prerun += instances
+                    if name not in profile.uncertain_params:
+                        counts.after_uncertainty += instances
+        return counts
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+def _merge_stats(into: PoolStats, other: PoolStats) -> None:
+    into.pool_runs += other.pool_runs
+    into.bisection_runs += other.bisection_runs
+    into.singleton_instances += other.singleton_instances
+    into.pools_cleared += other.pools_cleared
+    into.params_cleared_in_pools += other.params_cleared_in_pools
+    into.interference_events += other.interference_events
+    into.blacklist_skips += other.blacklist_skips
+
+
+def _hypothesis_stats(results: Sequence[InstanceResult]) -> HypothesisTestingStats:
+    stats = HypothesisTestingStats()
+    for result in results:
+        if result.verdict == CONFIRMED_UNSAFE:
+            stats.suspicious_first_trial += 1
+            stats.confirmed += 1
+        elif result.verdict == FLAKY_DISMISSED:
+            stats.suspicious_first_trial += 1
+            stats.filtered_as_flaky += 1
+    return stats
+
+
+def _group_confirmed(results: Sequence[InstanceResult]
+                     ) -> Dict[str, List[InstanceResult]]:
+    grouped: Dict[str, List[InstanceResult]] = {}
+    for result in results:
+        if result.verdict != CONFIRMED_UNSAFE:
+            continue
+        for param in result.instance.params:
+            grouped.setdefault(param, []).append(result)
+    return grouped
+
+
+# ---------------------------------------------------------------------------
+# full evaluation over every target application
+# ---------------------------------------------------------------------------
+def application_campaigns(config: Optional[CampaignConfig] = None
+                          ) -> List[Campaign]:
+    """One configured campaign per target application (imports suites)."""
+    from repro.apps import catalog
+    config = config if config is not None else CampaignConfig()
+    campaigns = []
+    for app in catalog.APP_NAMES:
+        spec = catalog.spec_for(app)
+        campaigns.append(Campaign(app=app, registry=spec.registry,
+                                  dependency_rules=spec.dependency_rules,
+                                  config=config))
+    return campaigns
+
+
+def run_full_campaign(config: Optional[CampaignConfig] = None) -> CampaignReport:
+    report = CampaignReport()
+    for campaign in application_campaigns(config):
+        report.apps.append(campaign.run())
+    return report

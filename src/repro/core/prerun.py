@@ -1,0 +1,100 @@
+"""Pre-run phase: profile each unit test once to filter ineffective
+instances (§4 "Pre-run unit tests", §6.2 Observation 3).
+
+The pre-run executes every unit test exactly once under a recording
+:class:`~repro.core.confagent.ConfAgent` (no value injection) and learns:
+
+* which node types the test starts (tests that start none are dropped);
+* which parameters each node type — and the unit test itself, treated as
+  a client node — actually reads;
+* which parameters were read through configuration objects the mapping
+  rules could not place (those (test, parameter) combinations are
+  excluded, because misattributed injection would fabricate intra-node
+  inconsistencies and hence false positives);
+* whether the test already fails with its original homogeneous
+  configuration (broken-at-baseline tests are dropped).
+"""
+
+from __future__ import annotations
+
+import random
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.confagent import UNIT_TEST, ConfAgent
+from repro.core.registry import TestContext, UnitTest
+
+#: Seed used for every pre-run so profiles are reproducible.
+PRERUN_SEED = 20210426  # EuroSys'21 opening day
+
+
+@dataclass
+class TestProfile:
+    """What the pre-run learned about one unit test."""
+
+    test: UnitTest
+    #: node type -> count; includes UNIT_TEST (count 1) when the test's
+    #: own configuration objects read any parameter.
+    groups: Dict[str, int] = field(default_factory=dict)
+    #: node type (or UNIT_TEST) -> parameters read through its confs.
+    params_by_group: Dict[str, Set[str]] = field(default_factory=dict)
+    #: parameters read through unmappable configuration objects.
+    uncertain_params: Set[str] = field(default_factory=set)
+    #: baseline failure message, if the test failed its pre-run.
+    baseline_error: Optional[str] = None
+    starts_nodes: bool = False
+
+    @property
+    def usable(self) -> bool:
+        return self.starts_nodes and self.baseline_error is None
+
+    def testable_params(self, group: str) -> Set[str]:
+        """Parameters worth testing on ``group`` after all exclusions."""
+        return self.params_by_group.get(group, set()) - self.uncertain_params
+
+
+def prerun_test(test: UnitTest) -> TestProfile:
+    """Execute one unit test in recording mode and build its profile."""
+    profile = TestProfile(test=test)
+    agent = ConfAgent(assignment=None, record_usage=True)
+    ctx = TestContext(rng=random.Random(PRERUN_SEED), trial=-1)
+    with agent:
+        try:
+            test.fn(ctx)
+        except Exception as exc:  # noqa: BLE001 - a failing test is data
+            profile.baseline_error = "%s: %s" % (type(exc).__name__, exc)
+    profile.groups = agent.started_node_groups()
+    profile.starts_nodes = bool(profile.groups)
+    for owner, params in agent.usage.items():
+        profile.params_by_group[owner] = set(params)
+    if agent.usage.get(UNIT_TEST):
+        profile.groups[UNIT_TEST] = 1
+    profile.uncertain_params = set(agent.uncertain_params)
+    return profile
+
+
+def prerun_corpus(tests: List[UnitTest]) -> List[TestProfile]:
+    return [prerun_test(test) for test in tests]
+
+
+@dataclass
+class PreRunSummary:
+    """Aggregate pre-run statistics for reporting (Table 5 support)."""
+
+    total_tests: int = 0
+    tests_without_nodes: int = 0
+    tests_broken_at_baseline: int = 0
+    tests_with_uncertain_confs: int = 0
+
+    @classmethod
+    def from_profiles(cls, profiles: List[TestProfile]) -> "PreRunSummary":
+        summary = cls(total_tests=len(profiles))
+        for profile in profiles:
+            if not profile.starts_nodes:
+                summary.tests_without_nodes += 1
+            if profile.baseline_error is not None:
+                summary.tests_broken_at_baseline += 1
+            if profile.uncertain_params:
+                summary.tests_with_uncertain_confs += 1
+        return summary

@@ -1,0 +1,250 @@
+"""Campaign reports: per-application and combined results + rendering.
+
+The structures here carry everything the evaluation benches print:
+Table-5-style stage counts, the reported/true/false-positive parameter
+split (§7.1), pool statistics, hypothesis-testing effects (§7.2), and
+machine-time accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.pooling import PoolStats
+from repro.core.prerun import PreRunSummary
+from repro.core.runner import InstanceResult
+from repro.core.triage import ParamVerdict
+
+
+@dataclass
+class StageCounts:
+    """Test-instance counts after each §4 technique (one Table 5 column)."""
+
+    original: int = 0
+    after_prerun: int = 0
+    after_uncertainty: int = 0
+    after_pooling: int = 0
+
+    def reduction_orders(self) -> float:
+        """Orders of magnitude between original and pooled counts."""
+        import math
+        if self.after_pooling <= 0 or self.original <= 0:
+            return 0.0
+        return math.log10(self.original / self.after_pooling)
+
+    def rows(self) -> List[Tuple[str, int]]:
+        return [("Original", self.original),
+                ("After pre-running unit tests", self.after_prerun),
+                ("After removing uncertainty", self.after_uncertainty),
+                ("After pooled testing", self.after_pooling)]
+
+
+@dataclass
+class HypothesisTestingStats:
+    """§7.2: first-trial failures vs what multi-trial confirmation kept."""
+
+    suspicious_first_trial: int = 0
+    confirmed: int = 0
+    filtered_as_flaky: int = 0
+
+
+@dataclass
+class AppReport:
+    """Everything one application's campaign produced."""
+
+    app: str
+    stage_counts: StageCounts
+    prerun_summary: PreRunSummary
+    pool_stats: PoolStats
+    hypothesis_stats: HypothesisTestingStats
+    verdicts: List[ParamVerdict]
+    results_by_param: Dict[str, List[InstanceResult]]
+    blacklisted: Tuple[str, ...]
+    executions: int
+    machine_time_s: float
+
+    @property
+    def reported_params(self) -> List[str]:
+        return [v.param for v in self.verdicts]
+
+    @property
+    def true_problems(self) -> List[ParamVerdict]:
+        return [v for v in self.verdicts if v.is_true_problem]
+
+    @property
+    def false_positives(self) -> List[ParamVerdict]:
+        return [v for v in self.verdicts if not v.is_true_problem]
+
+
+@dataclass
+class CampaignReport:
+    """Combined report over all applications (the paper's full evaluation)."""
+
+    apps: List[AppReport] = field(default_factory=list)
+
+    def app(self, name: str) -> AppReport:
+        for report in self.apps:
+            if report.app == name:
+                return report
+        raise KeyError(name)
+
+    @property
+    def total_reported(self) -> int:
+        return sum(len(a.verdicts) for a in self.apps)
+
+    @property
+    def total_true_problems(self) -> int:
+        return sum(len(a.true_problems) for a in self.apps)
+
+    @property
+    def total_false_positives(self) -> int:
+        return sum(len(a.false_positives) for a in self.apps)
+
+    @property
+    def total_machine_hours(self) -> float:
+        return sum(a.machine_time_s for a in self.apps) / 3600.0
+
+    def projected_wall_hours(self, machines: int = 100,
+                             containers_per_machine: int = 20) -> float:
+        """Wall time if the campaign fanned out like the paper's testbed
+        ("we used up to 100 physical machines and allocate 20 Docker
+        containers on each")."""
+        slots = max(machines * containers_per_machine, 1)
+        return self.total_machine_hours / slots
+
+    def all_true_problem_params(self) -> List[Tuple[str, str]]:
+        return [(a.app, v.param) for a in self.apps for v in a.true_problems]
+
+    # ------------------------------------------------------------------
+    # cross-campaign deduplication: HBase tests rediscover HDFS params,
+    # every Hadoop app rediscovers Hadoop Common params, etc.  Table 3
+    # lists each parameter once, so the combined tallies dedupe by name.
+    # ------------------------------------------------------------------
+    def unique_verdicts(self) -> Dict[str, ParamVerdict]:
+        merged: Dict[str, ParamVerdict] = {}
+        for app_report in self.apps:
+            for verdict in app_report.verdicts:
+                existing = merged.get(verdict.param)
+                if existing is None or (verdict.is_true_problem
+                                        and not existing.is_true_problem):
+                    merged[verdict.param] = verdict
+        return merged
+
+    def unique_true_problems(self) -> List[ParamVerdict]:
+        return sorted((v for v in self.unique_verdicts().values()
+                       if v.is_true_problem), key=lambda v: v.param)
+
+    def unique_false_positives(self) -> List[ParamVerdict]:
+        return sorted((v for v in self.unique_verdicts().values()
+                       if not v.is_true_problem), key=lambda v: v.param)
+
+
+# ---------------------------------------------------------------------------
+# JSON-friendly export (used by the CLI's --json flag)
+# ---------------------------------------------------------------------------
+def verdict_to_dict(verdict: ParamVerdict) -> Dict[str, object]:
+    return {
+        "param": verdict.param,
+        "verdict": verdict.verdict,
+        "category": verdict.category,
+        "fp_reason": verdict.fp_reason,
+        "failing_tests": list(verdict.failing_tests),
+        "sample_error": verdict.sample_error,
+    }
+
+
+def app_report_to_dict(report: AppReport) -> Dict[str, object]:
+    return {
+        "app": report.app,
+        "stage_counts": dict(report.stage_counts.rows()),
+        "verdicts": [verdict_to_dict(v) for v in report.verdicts],
+        "true_problems": [v.param for v in report.true_problems],
+        "false_positives": [v.param for v in report.false_positives],
+        "blacklisted": list(report.blacklisted),
+        "executions": report.executions,
+        "machine_time_s": report.machine_time_s,
+        "prerun": {
+            "total_tests": report.prerun_summary.total_tests,
+            "tests_without_nodes": report.prerun_summary.tests_without_nodes,
+            "tests_broken_at_baseline":
+                report.prerun_summary.tests_broken_at_baseline,
+            "tests_with_uncertain_confs":
+                report.prerun_summary.tests_with_uncertain_confs,
+        },
+        "hypothesis_testing": {
+            "suspicious_first_trial":
+                report.hypothesis_stats.suspicious_first_trial,
+            "confirmed": report.hypothesis_stats.confirmed,
+            "filtered_as_flaky": report.hypothesis_stats.filtered_as_flaky,
+        },
+        "pool_stats": {
+            "pool_runs": report.pool_stats.pool_runs,
+            "bisection_runs": report.pool_stats.bisection_runs,
+            "singleton_instances": report.pool_stats.singleton_instances,
+            "pools_cleared": report.pool_stats.pools_cleared,
+            "blacklist_skips": report.pool_stats.blacklist_skips,
+        },
+    }
+
+
+def campaign_report_to_dict(report: CampaignReport) -> Dict[str, object]:
+    return {
+        "apps": [app_report_to_dict(a) for a in report.apps],
+        "unique_true_problems": [v.param
+                                 for v in report.unique_true_problems()],
+        "unique_false_positives": [v.param
+                                   for v in report.unique_false_positives()],
+        "total_machine_hours": report.total_machine_hours,
+    }
+
+
+# ---------------------------------------------------------------------------
+# plain-text rendering used by benches and examples
+# ---------------------------------------------------------------------------
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Minimal fixed-width table renderer (no third-party deps)."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def render_stage_counts(reports: Sequence[AppReport]) -> str:
+    """Table 5: instance counts after successively applied methods."""
+    headers = ["Stage"] + [r.app for r in reports]
+    stage_names = [name for name, _ in reports[0].stage_counts.rows()]
+    rows = []
+    for row_index, stage in enumerate(stage_names):
+        row = [stage]
+        for report in reports:
+            row.append("{:,}".format(report.stage_counts.rows()[row_index][1]))
+        rows.append(row)
+    return render_table(headers, rows)
+
+
+def render_unsafe_params(report: CampaignReport) -> str:
+    """Table 3: the true heterogeneous-unsafe parameters found, listed
+    once each under the section that owns the parameter."""
+    from repro.apps.catalog import section_for_param
+    rows = []
+    for verdict in report.unique_true_problems():
+        rows.append([section_for_param(verdict.param), verdict.param,
+                     verdict.category])
+    rows.sort(key=lambda row: (row[0], row[1]))
+    return render_table(["Section", "Parameter", "Category"], rows)
+
+
+def render_summary(report: CampaignReport) -> str:
+    """§7.1 headline numbers, deduplicated across campaigns like Table 3."""
+    lines = [
+        "reported parameters      : %d" % len(report.unique_verdicts()),
+        "true problems            : %d" % len(report.unique_true_problems()),
+        "false positives          : %d" % len(report.unique_false_positives()),
+        "machine hours (modelled) : %.1f" % report.total_machine_hours,
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Markdown rendering of campaign reports (the CLI's ``--markdown``).
+
+CI systems and code review surfaces consume markdown; this renders the
+same content as the text renderers — verdicts, stage counts, §7.2
+statistics — as pipe tables, one document per campaign or evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.report import AppReport, CampaignReport
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def app_report_markdown(report: AppReport) -> str:
+    sections: List[str] = ["# ZebraConf campaign: %s" % report.app, ""]
+
+    sections.append("## Instances per stage")
+    sections.append(_table(["Stage", "Instances"],
+                           [[stage, format(count, ",")]
+                            for stage, count in report.stage_counts.rows()]))
+    sections.append("")
+
+    sections.append("## Reported parameters")
+    if report.verdicts:
+        sections.append(_table(
+            ["Parameter", "Verdict", "Category / cause", "Failing tests"],
+            [[v.param,
+              "**TRUE PROBLEM**" if v.is_true_problem else "false positive",
+              v.category if v.is_true_problem else v.fp_reason,
+              len(v.failing_tests)] for v in report.verdicts]))
+    else:
+        sections.append("_none_")
+    sections.append("")
+
+    hypo = report.hypothesis_stats
+    sections.append("## Run statistics")
+    sections.append(_table(["metric", "value"], [
+        ["unit-test executions", format(report.executions, ",")],
+        ["modelled machine hours", "%.1f" % (report.machine_time_s / 3600)],
+        ["suspicious first trials", hypo.suspicious_first_trial],
+        ["filtered as flaky", hypo.filtered_as_flaky],
+        ["blacklisted parameters", len(report.blacklisted)],
+    ]))
+    sections.append("")
+    return "\n".join(sections)
+
+
+def campaign_report_markdown(report: CampaignReport) -> str:
+    sections: List[str] = ["# ZebraConf evaluation", ""]
+    sections.append(_table(
+        ["", "count"],
+        [["reported parameters", len(report.unique_verdicts())],
+         ["true problems", len(report.unique_true_problems())],
+         ["false positives", len(report.unique_false_positives())],
+         ["machine hours (modelled)",
+          "%.1f" % report.total_machine_hours]]))
+    sections.append("")
+    sections.append("## True heterogeneous-unsafe parameters")
+    from repro.apps.catalog import TABLE3_WHY, section_for_param
+    sections.append(_table(
+        ["Section", "Parameter", "Why (paper's Table 3)"],
+        [[section_for_param(v.param), "`%s`" % v.param,
+          TABLE3_WHY.get(v.param, v.category)]
+         for v in report.unique_true_problems()]))
+    sections.append("")
+    for app_report in report.apps:
+        sections.append(app_report_markdown(app_report))
+    return "\n".join(sections)

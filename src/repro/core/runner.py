@@ -1,0 +1,166 @@
+"""TestRunner: execute test instances and confirm suspicions (§5).
+
+For a test instance (unit test + heterogeneous assignment), TestRunner
+follows Definition 3.1: run the heterogeneous configuration and every
+corresponding homogeneous configuration.  Only "hetero fails, all homos
+pass" makes an instance *suspicious*; suspicious instances then enter the
+multi-trial confirmation loop governed by :mod:`repro.core.stats`, which
+filters the false positives that nondeterministic tests produce.
+
+To minimise run time, multiple trials happen **only** for suspicious
+instances (§5: "we run multiple trials of a test instance only if its
+heterogeneous configuration fails and none of its homogeneous
+configurations fail in the first trial").
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.core.confagent import ConfAgent
+from repro.core.registry import TestContext, UnitTest
+from repro.core.stats import DEFAULT_ALPHA, TrialTally
+from repro.core.testgen import HeteroAssignment, TestInstance
+
+# verdicts
+PASS = "pass"
+BASELINE_FAIL = "baseline-fail"          # a homogeneous side also fails
+SUSPICIOUS = "suspicious"                # first trial pattern matched
+CONFIRMED_UNSAFE = "confirmed-unsafe"    # hypothesis test significant
+FLAKY_DISMISSED = "flaky-dismissed"      # hypothesis test filtered it
+
+
+@dataclass
+class RunOutcome:
+    """Result of one execution of one unit test under one assignment."""
+
+    ok: bool
+    error_type: str = ""
+    error_message: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return not self.ok
+
+
+@dataclass
+class InstanceResult:
+    """Verdict for one test instance after first trial (+ confirmation)."""
+
+    instance: TestInstance
+    verdict: str
+    hetero_error: str = ""
+    tally: Optional[TrialTally] = None
+    executions: int = 0
+
+    @property
+    def suspicious_at_first_trial(self) -> bool:
+        return self.verdict in (CONFIRMED_UNSAFE, FLAKY_DISMISSED)
+
+
+def stable_seed(*parts: Any) -> int:
+    """Deterministic cross-run seed from identifying strings/ints."""
+    text = "|".join(str(p) for p in parts)
+    return zlib.crc32(text.encode("utf-8"))
+
+
+class TestRunner:
+    """Executes unit tests under ConfAgent sessions and renders verdicts."""
+
+    def __init__(self, alpha: float = DEFAULT_ALPHA, max_trials: int = 40,
+                 run_cost_s: float = 60.0) -> None:
+        self.alpha = alpha
+        self.max_trials = max_trials
+        #: charged per execution when estimating machine time; the paper's
+        #: whole-system unit tests average minutes because real clusters
+        #: must boot — ours run in simulated time, so machine-time figures
+        #: are (executions x run_cost_s).
+        self.run_cost_s = run_cost_s
+        self.executions = 0
+
+    # ------------------------------------------------------------------
+    # single execution
+    # ------------------------------------------------------------------
+    def execute(self, test: UnitTest, assignment: Optional[Any],
+                seed: int) -> RunOutcome:
+        """Run one unit test once under ``assignment`` (None = original)."""
+        self.executions += 1
+        agent = ConfAgent(assignment=assignment, record_usage=False)
+        ctx = TestContext(rng=random.Random(seed), trial=seed)
+        with agent:
+            try:
+                test.fn(ctx)
+            except Exception as exc:  # noqa: BLE001 - oracle: any exception
+                return RunOutcome(ok=False, error_type=type(exc).__name__,
+                                  error_message=str(exc))
+        return RunOutcome(ok=True)
+
+    # ------------------------------------------------------------------
+    # Definition 3.1 first trial
+    # ------------------------------------------------------------------
+    def first_trial(self, test: UnitTest, assignment: HeteroAssignment,
+                    label: str) -> Tuple[RunOutcome, List[RunOutcome]]:
+        hetero = self.execute(test, assignment,
+                              stable_seed(test.full_name, label, "hetero", 0))
+        homos: List[RunOutcome] = []
+        for side in range(assignment.sides()):
+            homos.append(self.execute(
+                test, assignment.homo_variant(side),
+                stable_seed(test.full_name, label, "homo", side, 0)))
+        return hetero, homos
+
+    # ------------------------------------------------------------------
+    # full instance evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, instance: TestInstance) -> InstanceResult:
+        start = self.executions
+        label = instance.describe()
+        hetero, homos = self.first_trial(instance.test, instance.assignment, label)
+        if hetero.ok:
+            return self._done(instance, PASS, start)
+        if any(h.failed for h in homos):
+            return self._done(instance, BASELINE_FAIL, start,
+                              hetero_error=hetero.error_message)
+        tally = self.confirm(instance.test, instance.assignment, label,
+                             first_hetero=hetero, first_homos=homos)
+        verdict = CONFIRMED_UNSAFE if tally.significant(self.alpha) else FLAKY_DISMISSED
+        return self._done(instance, verdict, start,
+                          hetero_error=hetero.error_message, tally=tally)
+
+    def confirm(self, test: UnitTest, assignment: HeteroAssignment, label: str,
+                first_hetero: RunOutcome,
+                first_homos: List[RunOutcome]) -> TrialTally:
+        """Multi-trial confirmation loop for a suspicious instance."""
+        tally = TrialTally()
+        tally.record_hetero(first_hetero.failed)
+        for outcome in first_homos:
+            tally.record_homo(outcome.failed)
+        trial = 1
+        sides = assignment.sides()
+        while (not tally.significant(self.alpha)
+               and tally.hetero_trials < self.max_trials
+               and not tally.hopeless(self.alpha, self.max_trials)):
+            hetero = self.execute(test, assignment,
+                                  stable_seed(test.full_name, label, "hetero", trial))
+            tally.record_hetero(hetero.failed)
+            side = trial % sides
+            homo = self.execute(test, assignment.homo_variant(side),
+                                stable_seed(test.full_name, label, "homo", side, trial))
+            tally.record_homo(homo.failed)
+            trial += 1
+        return tally
+
+    # ------------------------------------------------------------------
+    def _done(self, instance: TestInstance, verdict: str, start_executions: int,
+              hetero_error: str = "", tally: Optional[TrialTally] = None) -> InstanceResult:
+        return InstanceResult(instance=instance, verdict=verdict,
+                              hetero_error=hetero_error, tally=tally,
+                              executions=self.executions - start_executions)
+
+    # ------------------------------------------------------------------
+    @property
+    def machine_time_s(self) -> float:
+        return self.executions * self.run_cost_s

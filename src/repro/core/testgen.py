@@ -1,0 +1,282 @@
+"""TestGenerator: which tests to run, with which heterogeneous values (§4).
+
+Responsibilities, in the paper's order:
+
+* **Test parameters independently** — each test instance varies one
+  parameter (or, with pooled testing, one *pool* of parameters, each still
+  independent of the others); dependency rules let a developer pin
+  companion parameters (e.g. set the https address when testing the https
+  policy).
+* **Select parameter values** — via :meth:`ParamDef.candidate_values`.
+* **Select representative value assignments** — nodes are grouped by
+  type; for each group and value pair we emit the cross-type strategy
+  (group gets v1, everyone else v2, and the swap) and, for groups with at
+  least two nodes, the round-robin-within-group strategy (§4).
+* **Analytic instance counting** — the "Original" row of Table 5.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import (Any, Dict, Iterable, Iterator, List, Mapping, Optional,
+                    Sequence, Set, Tuple)
+
+from repro.common.params import ParamDef, ParamRegistry
+from repro.core.confagent import NO_OVERRIDE, UNIT_TEST
+from repro.core.registry import UnitTest
+
+#: assignment strategies from §4
+CROSS = "cross"              # group -> v1, all others -> v2
+CROSS_SWAPPED = "cross-swapped"
+ROUND_ROBIN = "round-robin"  # alternate v1/v2 within group, others -> v2
+ROUND_ROBIN_SWAPPED = "round-robin-swapped"
+
+ALL_STRATEGIES = (CROSS, CROSS_SWAPPED, ROUND_ROBIN, ROUND_ROBIN_SWAPPED)
+
+
+@dataclass(frozen=True)
+class DependencyRule:
+    """When testing ``param`` with ``value``, also set ``companion=companion_value``
+    on every node (§4: e.g. set the https address when the policy is https)."""
+
+    param: str
+    value: Any
+    companion: str
+    companion_value: Any
+
+
+@dataclass(frozen=True)
+class ParamAssignment:
+    """Heterogeneous values of one parameter, plus pinned companions.
+
+    ``group`` nodes get values from ``group_values`` (length 1 for the
+    cross strategies, length 2 for round-robin, indexed by node index
+    parity); every other entity — other node types *and the unit test,
+    which ZebraConf treats as a client node* — gets ``other_value``.
+    """
+
+    param: str
+    group: str
+    group_values: Tuple[Any, ...]
+    other_value: Any
+    pinned: Tuple[Tuple[str, Any], ...] = ()
+
+    def value_for(self, node_type: str, node_index: int, name: str) -> Any:
+        for pinned_name, pinned_value in self.pinned:
+            if name == pinned_name:
+                return pinned_value
+        if name != self.param:
+            return NO_OVERRIDE
+        if node_type == self.group:
+            return self.group_values[node_index % len(self.group_values)]
+        return self.other_value
+
+    def distinct_values(self) -> Tuple[Any, ...]:
+        out: List[Any] = []
+        for value in self.group_values + (self.other_value,):
+            if value not in out:
+                out.append(value)
+        return tuple(out)
+
+
+@dataclass(frozen=True)
+class HeteroAssignment:
+    """A (possibly pooled) set of per-parameter heterogeneous assignments.
+
+    This is what ConfAgent consults on every intercepted ``get``.
+    """
+
+    assignments: Tuple[ParamAssignment, ...]
+
+    def __post_init__(self) -> None:
+        params = [a.param for a in self.assignments]
+        if len(set(params)) != len(params):
+            raise ValueError("duplicate parameter in pooled assignment")
+
+    @property
+    def params(self) -> Tuple[str, ...]:
+        return tuple(a.param for a in self.assignments)
+
+    def value_for(self, node_type: str, node_index: int, name: str) -> Any:
+        for assignment in self.assignments:
+            value = assignment.value_for(node_type, node_index, name)
+            if value is not NO_OVERRIDE:
+                return value
+        return NO_OVERRIDE
+
+    def sides(self) -> int:
+        """Number of homogeneous variants implied (max distinct values)."""
+        return max(len(a.distinct_values()) for a in self.assignments)
+
+    def homo_variant(self, side: int) -> "HomoAssignment":
+        """Homogeneous configuration i of Definition 3.1: every entity gets
+        parameter p's i-th distinct value (clamped per parameter)."""
+        values = {}
+        pinned: Dict[str, Any] = {}
+        for assignment in self.assignments:
+            distinct = assignment.distinct_values()
+            values[assignment.param] = distinct[min(side, len(distinct) - 1)]
+            pinned.update(dict(assignment.pinned))
+        return HomoAssignment(values=tuple(values.items()),
+                              pinned=tuple(pinned.items()))
+
+    def subset(self, params: Sequence[str]) -> "HeteroAssignment":
+        keep = set(params)
+        return HeteroAssignment(tuple(a for a in self.assignments
+                                      if a.param in keep))
+
+
+@dataclass(frozen=True)
+class HomoAssignment:
+    """Every entity sees the same value for every parameter."""
+
+    values: Tuple[Tuple[str, Any], ...]
+    pinned: Tuple[Tuple[str, Any], ...] = ()
+
+    def value_for(self, node_type: str, node_index: int, name: str) -> Any:
+        for param, value in self.pinned:
+            if name == param:
+                return value
+        for param, value in self.values:
+            if name == param:
+                return value
+        return NO_OVERRIDE
+
+
+@dataclass(frozen=True)
+class TestInstance:
+    """One runnable tuple: unit test + target group + strategy + params."""
+
+    test: UnitTest
+    group: str
+    strategy: str
+    assignment: HeteroAssignment
+
+    @property
+    def params(self) -> Tuple[str, ...]:
+        return self.assignment.params
+
+    def describe(self) -> str:
+        return "%s [%s/%s] %s" % (self.test.full_name, self.group,
+                                  self.strategy, ",".join(self.params))
+
+
+class TestGenerator:
+    """Builds test instances for one application."""
+
+    def __init__(self, registry: ParamRegistry,
+                 dependency_rules: Iterable[DependencyRule] = (),
+                 max_value_pairs: int = 3) -> None:
+        self.registry = registry
+        self.dependency_rules = list(dependency_rules)
+        #: cap on value pairs per parameter, keeping instance counts sane
+        #: for parameters with many candidate values.
+        self.max_value_pairs = max_value_pairs
+
+    # ------------------------------------------------------------------
+    # value selection
+    # ------------------------------------------------------------------
+    def value_pairs(self, param: ParamDef) -> List[Tuple[Any, Any]]:
+        """Unordered pairs of candidate values, default-first."""
+        candidates = param.candidate_values()
+        pairs = [pair for pair in itertools.combinations(candidates, 2)
+                 if pair[0] != pair[1]]
+        return pairs[:self.max_value_pairs]
+
+    def pinned_for(self, param: str, value: Any) -> Tuple[Tuple[str, Any], ...]:
+        return tuple((rule.companion, rule.companion_value)
+                     for rule in self.dependency_rules
+                     if rule.param == param and rule.value == value)
+
+    # ------------------------------------------------------------------
+    # assignment strategies (§4 "select representative value assignment")
+    # ------------------------------------------------------------------
+    def strategies_for_group(self, group_size: int) -> List[str]:
+        strategies = [CROSS, CROSS_SWAPPED]
+        if group_size >= 2:
+            strategies += [ROUND_ROBIN, ROUND_ROBIN_SWAPPED]
+        return strategies
+
+    def assignment(self, param: ParamDef, group: str, strategy: str,
+                   pair: Tuple[Any, Any]) -> ParamAssignment:
+        v1, v2 = pair
+        if strategy == CROSS:
+            group_values: Tuple[Any, ...] = (v1,)
+            other = v2
+        elif strategy == CROSS_SWAPPED:
+            group_values, other = (v2,), v1
+        elif strategy == ROUND_ROBIN:
+            group_values, other = (v1, v2), v2
+        elif strategy == ROUND_ROBIN_SWAPPED:
+            group_values, other = (v2, v1), v1
+        else:
+            raise ValueError("unknown strategy %r" % strategy)
+        # The dominant heterogeneous value is what the group sees first;
+        # pin companions for both sides so either side is self-consistent.
+        pinned = self.pinned_for(param.name, v1) + self.pinned_for(param.name, v2)
+        return ParamAssignment(param=param.name, group=group,
+                               group_values=group_values, other_value=other,
+                               pinned=pinned)
+
+    # ------------------------------------------------------------------
+    # instance enumeration
+    # ------------------------------------------------------------------
+    def instances_for_test(self, test: UnitTest, groups: Mapping[str, int],
+                           params_by_group: Mapping[str, Set[str]]) -> List[TestInstance]:
+        """All single-parameter instances for a pre-run-profiled test.
+
+        ``groups`` maps started node types to their counts; ``params_by_group``
+        maps each node type to the parameters it actually read during the
+        pre-run (§4 "pre-run unit tests" rule: only test parameter p on
+        node type A if A used p).
+        """
+        instances: List[TestInstance] = []
+        for group, count in sorted(groups.items()):
+            used = params_by_group.get(group, set())
+            for name in sorted(used):
+                param = self.registry.maybe_get(name)
+                if param is None:
+                    continue
+                for pair in self.value_pairs(param):
+                    for strategy in self.strategies_for_group(count):
+                        assignment = HeteroAssignment(
+                            (self.assignment(param, group, strategy, pair),))
+                        instances.append(TestInstance(
+                            test=test, group=group, strategy=strategy,
+                            assignment=assignment))
+        return instances
+
+    # ------------------------------------------------------------------
+    # analytic counting (Table 5, "Original" row)
+    # ------------------------------------------------------------------
+    def count_original_instances(self, num_tests: int,
+                                 node_types: Sequence[str],
+                                 assumed_group_size: int = 2) -> int:
+        """Instances a user would run with our §4 strategies but *without*
+        pre-running (Table 5 row 1): every test is assumed to exercise
+        every node type of the application on every parameter."""
+        per_param = sum(len(self.value_pairs(p)) for p in self.registry)
+        strategies = len(self.strategies_for_group(assumed_group_size))
+        return num_tests * per_param * len(node_types) * strategies
+
+    def enumerate_original_instances(self, test_names: Sequence[str],
+                                     node_types: Sequence[str],
+                                     assumed_group_size: int = 2
+                                     ) -> "Iterator[Tuple[str, str, str, str, Tuple[Any, Any]]]":
+        """Materialise the Table-5 "Original" universe lazily.
+
+        Yields ``(test, node_type, strategy, param, value_pair)`` tuples —
+        the combinations a user without pre-run knowledge would enqueue.
+        Useful for sampling and for validating
+        :meth:`count_original_instances` (they agree by construction, and
+        a test pins that).
+        """
+        strategies = self.strategies_for_group(assumed_group_size)
+        for test_name in test_names:
+            for node_type in node_types:
+                for param in self.registry:
+                    for pair in self.value_pairs(param):
+                        for strategy in strategies:
+                            yield (test_name, node_type, strategy,
+                                   param.name, pair)

@@ -1,0 +1,77 @@
+"""Structured campaign trace log.
+
+A campaign makes thousands of pass/fail decisions; when a verdict looks
+surprising, the raw material for debugging it is *which instances ran
+and what each one concluded*.  `TraceLog` records that as structured
+events which can be filtered in-process or dumped to JSON Lines (the
+CLI's ``--trace`` flag).
+
+Event kinds:
+
+* ``prerun``    — one per unit test: usable?, node groups, exclusions
+* ``instance``  — one per evaluated singleton instance: verdict + trials
+* ``blacklist`` — a parameter crossed the frequent-failure threshold
+* ``campaign``  — the closing summary
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    kind: str
+    at: float
+    data: Dict[str, Any]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "at": self.at, **self.data}
+
+
+class TraceLog:
+    """Append-only, thread-compatible event collector."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def emit(self, kind: str, **data: Any) -> TraceEvent:
+        event = TraceEvent(kind=kind, at=time.time(), data=data)
+        self.events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def instances_for_param(self, param: str) -> List[TraceEvent]:
+        return [event for event in self.of_kind("instance")
+                if param in event.data.get("params", ())]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    # ------------------------------------------------------------------
+    def write_jsonl(self, path: str) -> int:
+        with open(path, "w") as handle:
+            for event in self.events:
+                handle.write(json.dumps(event.to_dict(), sort_keys=True))
+                handle.write("\n")
+        return len(self.events)
+
+    @classmethod
+    def read_jsonl(cls, path: str) -> "TraceLog":
+        log = cls()
+        with open(path) as handle:
+            for line in handle:
+                record = json.loads(line)
+                kind = record.pop("kind")
+                at = record.pop("at")
+                log.events.append(TraceEvent(kind=kind, at=at, data=record))
+        return log

@@ -1,0 +1,75 @@
+"""Sanity tests over the application catalog and paper ground truth."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import catalog
+
+
+class TestSpecs:
+    @pytest.mark.parametrize("app", catalog.APP_NAMES)
+    def test_expected_params_exist_in_registry(self, app):
+        spec = catalog.spec_for(app)
+        for param in spec.expected_unsafe + spec.expected_false_positives:
+            assert param in spec.registry, param
+
+    @pytest.mark.parametrize("app", catalog.APP_NAMES)
+    def test_expected_sets_disjoint(self, app):
+        spec = catalog.spec_for(app)
+        assert not set(spec.expected_unsafe) & set(
+            spec.expected_false_positives)
+
+    def test_union_of_expected_unsafe_is_table3(self):
+        union = set()
+        for app in catalog.APP_NAMES:
+            union |= set(catalog.spec_for(app).expected_unsafe)
+        assert len(union) == 41
+
+    def test_sixteen_unique_false_positives_expected(self):
+        union = set()
+        for app in catalog.APP_NAMES:
+            union |= set(catalog.spec_for(app).expected_false_positives)
+        assert len(union) == 16
+
+    def test_table3_section_totals(self):
+        union = set()
+        for app in catalog.APP_NAMES:
+            union |= set(catalog.spec_for(app).expected_unsafe)
+        sections = {}
+        for param in union:
+            section = catalog.section_for_param(param)
+            sections[section] = sections.get(section, 0) + 1
+        assert sections == {"Flink": 3, "Hadoop Common": 2, "HBase": 2,
+                            "HDFS": 21, "MapReduce": 8, "Yarn": 5}
+
+
+class TestSectionMapping:
+    @pytest.mark.parametrize("param,section", [
+        ("dfs.heartbeat.interval", "HDFS"),
+        ("mapreduce.job.maps", "MapReduce"),
+        ("yarn.http.policy", "Yarn"),
+        ("hbase.regionserver.thrift.compact", "HBase"),
+        ("hadoop.rpc.protection", "Hadoop Common"),
+        ("ipc.client.rpc-timeout.ms", "Hadoop Common"),
+        ("io.file.buffer.size", "Hadoop Common"),
+        ("akka.ssl.enabled", "Flink"),
+        ("taskmanager.numberOfTaskSlots", "Flink"),
+    ])
+    def test_param_prefixes(self, param, section):
+        assert catalog.section_for_param(param) == section
+
+
+class TestPaperConstants:
+    def test_table5_rows_monotone(self):
+        for app, row in catalog.PAPER_TABLE5.items():
+            assert row[0] >= row[1] >= row[2] >= row[3], app
+
+    def test_statistics_cover_all_apps(self):
+        for app in catalog.APP_NAMES:
+            assert app in catalog.PAPER_STATISTICS
+
+    def test_ground_truth_helper(self):
+        truth = catalog.paper_ground_truth()
+        assert set(truth) == set(catalog.APP_NAMES)
+        assert "dfs.heartbeat.interval" in truth["hdfs"]["unsafe"]

@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListing:
+    def test_list_apps(self, capsys):
+        assert main(["list-apps"]) == 0
+        out = capsys.readouterr().out
+        for app in ("flink", "hdfs", "yarn"):
+            assert app in out
+
+    def test_list_params(self, capsys):
+        assert main(["list-params", "hdfs"]) == 0
+        out = capsys.readouterr().out
+        assert "dfs.heartbeat.interval" in out
+        assert "UNSAFE (Table 3)" in out
+
+    def test_list_params_unsafe_only(self, capsys):
+        assert main(["list-params", "flink", "--unsafe-only"]) == 0
+        out = capsys.readouterr().out
+        assert "akka.ssl.enabled" in out
+        assert "rest.port" not in out
+
+    def test_corpus(self, capsys):
+        assert main(["corpus", "mapreduce"]) == 0
+        out = capsys.readouterr().out
+        assert "TestMapReduceJob.testWordCount" in out
+        assert "flaky" in out
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["list-params", "cassandra"])
+
+    def test_why_table3_param(self, capsys):
+        assert main(["why", "dfs.heartbeat.interval"]) == 0
+        out = capsys.readouterr().out
+        assert "heterogeneous-UNSAFE" in out
+        assert "falsely identifies" in out
+
+    def test_why_safe_param(self, capsys):
+        assert main(["why", "io.file.buffer.size"]) == 0
+        out = capsys.readouterr().out
+        assert "not listed" in out
+        assert "Hadoop Common" in out
+
+    def test_why_unknown_param(self, capsys):
+        assert main(["why", "does.not.exist"]) == 1
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestCampaignCommand:
+    def test_flink_campaign_with_json(self, capsys, tmp_path):
+        out_path = tmp_path / "flink.json"
+        assert main(["campaign", "flink", "--workers", "2",
+                     "--json", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "TRUE PROBLEM" in out
+        assert "akka.ssl.enabled" in out
+
+        data = json.loads(out_path.read_text())
+        assert data["app"] == "flink"
+        assert set(data["true_problems"]) == {
+            "akka.ssl.enabled", "taskmanager.data.ssl.enabled",
+            "taskmanager.numberOfTaskSlots"}
+        assert data["executions"] > 0
+        assert data["hypothesis_testing"]["confirmed"] >= 3
+
+    def test_campaign_flags_accepted(self, capsys):
+        assert main(["campaign", "flink", "--pool-size", "4",
+                     "--blacklist-threshold", "2",
+                     "--disable-ipc-sharing"]) == 0
+        assert "reported" in capsys.readouterr().out

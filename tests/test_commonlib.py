@@ -1,0 +1,55 @@
+"""Tests for the Hadoop Common registry and its consumers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.commonlib import COMMON_REGISTRY, common_ground_truth
+from repro.common.ipc import IPC_SHARED_PARAMS
+
+
+class TestCommonRegistry:
+    def test_table3_params_present(self):
+        assert "hadoop.rpc.protection" in COMMON_REGISTRY
+        assert "ipc.client.rpc-timeout.ms" in COMMON_REGISTRY
+
+    def test_ipc_fp_params_registered(self):
+        for name in IPC_SHARED_PARAMS:
+            assert name in COMMON_REGISTRY, name
+
+    def test_protection_enum_matches_sasl_levels(self):
+        from repro.common.wire import SASL_LEVELS
+        param = COMMON_REGISTRY.get("hadoop.rpc.protection")
+        assert param.values == SASL_LEVELS
+
+    def test_rpc_timeout_candidates_include_disabled(self):
+        param = COMMON_REGISTRY.get("ipc.client.rpc-timeout.ms")
+        assert 0 in param.candidate_values()
+
+    def test_every_param_has_description(self):
+        for param in COMMON_REGISTRY:
+            assert param.description, param.name
+
+    def test_ground_truth_covers_both_lists(self):
+        truth = common_ground_truth()
+        assert set(truth["unsafe"]) == {"hadoop.rpc.protection",
+                                        "ipc.client.rpc-timeout.ms"}
+        assert set(truth["false_positives"]) == set(IPC_SHARED_PARAMS)
+
+
+class TestHadoopAppsSeeCommonParams:
+    @pytest.mark.parametrize("module,attr", [
+        ("repro.apps.hdfs.params", "HDFS_FULL_REGISTRY"),
+        ("repro.apps.mapreduce.params", "MAPREDUCE_FULL_REGISTRY"),
+        ("repro.apps.yarn.params", "YARN_FULL_REGISTRY"),
+        ("repro.apps.hbase.params", "HBASE_FULL_REGISTRY"),
+    ])
+    def test_merged_registry_contains_common(self, module, attr):
+        import importlib
+        registry = getattr(importlib.import_module(module), attr)
+        for param in COMMON_REGISTRY:
+            assert param.name in registry
+
+    def test_flink_does_not_see_common(self):
+        from repro.apps.flink import FLINK_REGISTRY
+        assert "hadoop.rpc.protection" not in FLINK_REGISTRY

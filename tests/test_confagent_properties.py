@@ -1,0 +1,127 @@
+"""Property-based tests of ConfAgent's mapping rules.
+
+A random interleaving of the operations real unit tests perform —
+creating confs before/after nodes, initializing nodes (optionally with
+the shared conf), cloning mapped and unmapped confs — must leave the
+agent in a consistent state: every conf owned by exactly one entity (or
+uncertain), clones co-located with their sources, and injection never
+reaching uncertain objects.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.configuration import Configuration, ref_to_clone
+from repro.common.params import INT, ParamRegistry
+from repro.core.confagent import (NO_OVERRIDE, UNCERTAIN, UNIT_TEST,
+                                  ConfAgent, current_agent)
+from repro.core.testgen import HeteroAssignment, ParamAssignment
+
+REGISTRY = ParamRegistry("prop-agent")
+REGISTRY.define("pa.value", INT, 5)
+
+
+class PropConfiguration(Configuration):
+    registry = REGISTRY
+
+
+class PropNode:
+    node_type = "Service"
+
+    def __init__(self, conf):
+        agent = current_agent()
+        agent.start_init(self, self.node_type)
+        try:
+            self.conf = ref_to_clone(conf)
+        finally:
+            agent.stop_init()
+
+
+#: operation alphabet for the random interleavings
+OPERATIONS = st.lists(
+    st.sampled_from(["new_conf", "new_node", "clone_first", "clone_last"]),
+    min_size=1, max_size=12)
+
+
+def run_operations(operations):
+    agent = ConfAgent(assignment=HeteroAssignment((ParamAssignment(
+        param="pa.value", group="Service", group_values=(100,),
+        other_value=200),)))
+    confs = []
+    nodes = []
+    with agent:
+        shared = PropConfiguration()
+        confs.append(shared)
+        for operation in operations:
+            if operation == "new_conf":
+                confs.append(PropConfiguration())
+            elif operation == "new_node":
+                nodes.append(PropNode(shared))
+                confs.append(nodes[-1].conf)
+            elif operation == "clone_first":
+                confs.append(PropConfiguration(confs[0]))
+            elif operation == "clone_last":
+                confs.append(PropConfiguration(confs[-1]))
+        observed = [(agent._resolve(conf), conf.get("pa.value"))
+                    for conf in confs]
+    return agent, confs, nodes, observed
+
+
+@given(OPERATIONS)
+@settings(max_examples=80, deadline=None)
+def test_every_conf_has_exactly_one_owner(operations):
+    agent, confs, nodes, _ = run_operations(operations)
+    for conf in confs:
+        owners = 0
+        conf_id = id(conf)
+        for record in agent.node_table.values():
+            if conf_id in record.conf_ids:
+                owners += 1
+        if conf_id in agent.unit_test_confs:
+            owners += 1
+        if conf_id in agent.uncertain_confs:
+            owners += 1
+        assert owners == 1, "conf with %d owners" % owners
+
+
+@given(OPERATIONS)
+@settings(max_examples=80, deadline=None)
+def test_injection_matches_resolution(operations):
+    _, _, _, observed = run_operations(operations)
+    for (node_type, _), value in observed:
+        if node_type == "Service":
+            assert value == 100
+        elif node_type == UNIT_TEST:
+            assert value == 200
+        else:  # uncertain objects keep the registry default
+            assert node_type == UNCERTAIN
+            assert value == 5
+
+
+@given(OPERATIONS)
+@settings(max_examples=80, deadline=None)
+def test_clones_follow_their_sources(operations):
+    agent, confs, _, _ = run_operations(operations)
+    for child_id, parent_id in agent.parent_to_child.items():
+        child = next((c for c in confs if id(c) == child_id), None)
+        parent = next((c for c in confs if id(c) == parent_id), None)
+        if child is None or parent is None:
+            continue
+        child_owner = agent._resolve(child)
+        parent_owner = agent._resolve(parent)
+        # Rule 2 deliberately splits (clone -> node, source -> test);
+        # everything else keeps clone and source together.
+        if child_owner[0] == "Service" and parent_owner[0] == UNIT_TEST:
+            continue
+        assert child_owner == parent_owner
+
+
+@given(OPERATIONS)
+@settings(max_examples=80, deadline=None)
+def test_node_count_matches_new_node_operations(operations):
+    agent, _, nodes, _ = run_operations(operations)
+    assert agent.started_node_groups().get("Service", 0) == len(nodes)
+    for index, node in enumerate(nodes):
+        assert agent._resolve(node.conf) == ("Service", index)

@@ -1,0 +1,197 @@
+"""Unit tests for Configuration, ParamDef/ParamRegistry."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.configuration import Configuration, ref_to_clone
+from repro.common.errors import ConfigurationError
+from repro.common.params import (BOOL, DURATION_MS, ENUM, FLOAT, INT, SIZE,
+                                 STR, ParamDef, ParamRegistry,
+                                 default_candidates)
+
+
+@pytest.fixture()
+def registry():
+    reg = ParamRegistry("testapp")
+    reg.define("app.flag", BOOL, False)
+    reg.define("app.count", INT, 10)
+    reg.define("app.rate", FLOAT, 0.5)
+    reg.define("app.mode", ENUM, "fast", values=("fast", "safe"))
+    reg.define("app.name", STR, "default-name")
+    reg.define("app.buffer", SIZE, 4096)
+    reg.define("app.delay", DURATION_MS, 1000)
+    return reg
+
+
+@pytest.fixture()
+def conf(registry):
+    class TestConfiguration(Configuration):
+        pass
+
+    TestConfiguration.registry = registry
+    return TestConfiguration()
+
+
+class TestGetSet:
+    def test_registry_default_used(self, conf):
+        assert conf.get("app.count") == 10
+
+    def test_explicit_set_wins_over_default(self, conf):
+        conf.set("app.count", 99)
+        assert conf.get("app.count") == 99
+        assert conf.is_explicitly_set("app.count")
+
+    def test_argument_default_for_unknown_param(self, conf):
+        assert conf.get("no.such.param", default=7) == 7
+
+    def test_unknown_param_without_default_raises(self, conf):
+        with pytest.raises(ConfigurationError):
+            conf.get("no.such.param")
+
+    def test_unset_restores_default(self, conf):
+        conf.set("app.count", 1)
+        conf.unset("app.count")
+        assert conf.get("app.count") == 10
+
+    def test_explicit_items_sorted(self, conf):
+        conf.set("app.rate", 0.9)
+        conf.set("app.count", 1)
+        assert [k for k, _ in conf.explicit_items()] == ["app.count", "app.rate"]
+
+
+class TestTypedAccessors:
+    def test_get_bool_accepts_strings(self, conf):
+        for text, expected in (("true", True), ("FALSE", False), ("1", True),
+                               ("no", False), ("yes", True), ("0", False)):
+            conf.set("app.flag", text)
+            assert conf.get_bool("app.flag") is expected
+
+    def test_get_bool_rejects_garbage(self, conf):
+        conf.set("app.flag", "maybe")
+        with pytest.raises(ConfigurationError):
+            conf.get_bool("app.flag")
+
+    def test_get_int_parses_strings(self, conf):
+        conf.set("app.count", "42")
+        assert conf.get_int("app.count") == 42
+
+    def test_get_int_rejects_bool(self, conf):
+        conf.set("app.count", True)
+        with pytest.raises(ConfigurationError):
+            conf.get_int("app.count")
+
+    def test_get_int_rejects_garbage(self, conf):
+        conf.set("app.count", "many")
+        with pytest.raises(ConfigurationError):
+            conf.get_int("app.count")
+
+    def test_get_float(self, conf):
+        conf.set("app.rate", "0.25")
+        assert conf.get_float("app.rate") == 0.25
+
+    def test_get_str_stringifies(self, conf):
+        conf.set("app.name", 123)
+        assert conf.get_str("app.name") == "123"
+
+    def test_get_enum_validates_against_registry(self, conf):
+        conf.set("app.mode", "safe")
+        assert conf.get_enum("app.mode") == "safe"
+        conf.set("app.mode", "warp")
+        with pytest.raises(ConfigurationError):
+            conf.get_enum("app.mode")
+
+
+class TestCloning:
+    def test_clone_copies_explicit_values(self, conf):
+        conf.set("app.count", 5)
+        clone = conf.clone()
+        assert clone.get("app.count") == 5
+
+    def test_clone_is_independent(self, conf):
+        clone = conf.clone()
+        clone.set("app.count", 1)
+        assert conf.get("app.count") == 10
+
+    def test_clone_inherits_registry(self, conf):
+        assert conf.clone().registry is conf.registry
+
+    def test_ref_to_clone_without_agent_returns_original(self, conf):
+        # Outside a ZebraConf session the hook is inert: stock behaviour
+        # keeps the shared reference.
+        assert ref_to_clone(conf) is conf
+
+
+class TestParamDefs:
+    def test_bool_candidates(self):
+        param = ParamDef("p", BOOL, False)
+        assert param.candidate_values() == (True, False)
+
+    def test_enum_candidates_are_values(self):
+        param = ParamDef("p", ENUM, "a", values=("a", "b", "c"))
+        assert param.candidate_values() == ("a", "b", "c")
+
+    def test_enum_without_values_rejected(self):
+        with pytest.raises(ValueError):
+            ParamDef("p", ENUM, "a")
+
+    def test_numeric_candidates_include_extremes(self):
+        param = ParamDef("p", INT, 100)
+        candidates = param.candidate_values()
+        assert 100 in candidates
+        assert max(candidates) >= 100 * 100
+        assert min(candidates) <= 1
+
+    def test_zero_default_still_gets_varied(self):
+        param = ParamDef("p", DURATION_MS, 0)
+        assert len(param.candidate_values()) >= 2
+
+    def test_explicit_candidates_win(self):
+        param = ParamDef("p", INT, 1, candidates=(1, 2, 3))
+        assert param.candidate_values() == (1, 2, 3)
+
+    def test_plain_string_not_varied(self):
+        param = ParamDef("p", STR, "only")
+        assert param.candidate_values() == ("only",)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            default_candidates(ParamDef("p", "mystery", 0))
+
+    @given(st.integers(min_value=1, max_value=10 ** 9))
+    @settings(max_examples=50, deadline=None)
+    def test_numeric_candidates_unique_and_contain_default(self, default):
+        candidates = ParamDef("p", INT, default).candidate_values()
+        assert len(set(candidates)) == len(candidates)
+        assert default in candidates
+
+
+class TestParamRegistry:
+    def test_duplicate_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.define("app.count", INT, 1)
+
+    def test_contains_and_len(self, registry):
+        assert "app.flag" in registry
+        assert len(registry) == 7
+
+    def test_merge_prefers_first(self, registry):
+        other = ParamRegistry("other")
+        other.define("app.count", INT, 999)
+        other.define("other.param", INT, 1)
+        merged = registry.merged_with(other)
+        assert merged.default_of("app.count") == 10
+        assert "other.param" in merged
+        assert len(merged) == 8
+
+    def test_tagged_lookup(self):
+        reg = ParamRegistry("t")
+        reg.define("a", BOOL, False, tags=("wire-format",))
+        reg.define("b", BOOL, False)
+        assert [p.name for p in reg.tagged("wire-format")] == ["a"]
+
+    def test_maybe_get(self, registry):
+        assert registry.maybe_get("nope") is None
+        assert registry.maybe_get("app.flag").name == "app.flag"

@@ -1,0 +1,103 @@
+"""Tests for DFSAdmin online reconfiguration and targeted campaigns."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import catalog
+from repro.apps.hdfs import (DFSAdmin, HdfsConfiguration, MiniDFSCluster,
+                             ReconfigurationError)
+from repro.core.confagent import ConfAgent
+from repro.core.orchestrator import Campaign, CampaignConfig
+
+
+@pytest.fixture()
+def live_cluster():
+    # a ConfAgent session gives each node its own conf clone, so
+    # reconfiguration is genuinely per-node (see §6.1).
+    session = ConfAgent()
+    with session:
+        conf = HdfsConfiguration()
+        cluster = MiniDFSCluster(conf, num_datanodes=2)
+        cluster.start()
+    yield conf, cluster
+    cluster.shutdown()
+
+
+class TestDFSAdminReconfig:
+    def test_set_balancer_bandwidth_hits_every_datanode(self, live_cluster):
+        conf, cluster = live_cluster
+        admin = DFSAdmin(conf, cluster)
+        assert admin.set_balancer_bandwidth(123456) == 2
+        for datanode in cluster.datanodes:
+            assert datanode.conf.get_int(
+                "dfs.datanode.balance.bandwidthPerSec") == 123456
+
+    def test_bandwidth_reconfiguration_takes_effect_live(self, live_cluster):
+        conf, cluster = live_cluster
+        datanode = cluster.datanodes[0]
+        DFSAdmin(conf, cluster).reconfig_datanode(
+            "dn0", "dfs.datanode.balance.bandwidthPerSec", 1000)
+        # the throttler re-reads the cap on every acquisition (HDFS-2202)
+        assert datanode.balance_throttler.rate_fn() == 1000
+
+    def test_heartbeat_reconfig_on_namenode(self, live_cluster):
+        conf, cluster = live_cluster
+        admin = DFSAdmin(conf, cluster)
+        before = cluster.namenode._heartbeat_expiry_s()
+        admin.reconfig_namenode("dfs.heartbeat.interval", 3000)
+        assert cluster.namenode._heartbeat_expiry_s() > before
+
+    def test_non_reconfigurable_param_refused(self, live_cluster):
+        conf, cluster = live_cluster
+        admin = DFSAdmin(conf, cluster)
+        with pytest.raises(ReconfigurationError):
+            admin.reconfig_namenode("dfs.namenode.fs-limits.max-directory-items",
+                                    5)
+        with pytest.raises(ReconfigurationError):
+            admin.reconfig_datanode("dn0", "dfs.checksum.type", "CRC32C")
+
+    def test_unknown_datanode_refused(self, live_cluster):
+        conf, cluster = live_cluster
+        with pytest.raises(ReconfigurationError):
+            DFSAdmin(conf, cluster).reconfig_datanode("dn9", "x", 1)
+
+    def test_stopped_node_refused(self, live_cluster):
+        conf, cluster = live_cluster
+        cluster.datanodes[1].stop()
+        with pytest.raises(Exception):
+            DFSAdmin(conf, cluster).reconfig_datanode(
+                "dn1", "dfs.heartbeat.interval", 30)
+
+    def test_list_reconfigurable(self, live_cluster):
+        conf, cluster = live_cluster
+        admin = DFSAdmin(conf, cluster)
+        assert "dfs.heartbeat.interval" in admin.list_reconfigurable("NameNode")
+        assert admin.list_reconfigurable("Balancer") == []
+
+    def test_report_is_the_stats_call(self, live_cluster):
+        conf, cluster = live_cluster
+        report = DFSAdmin(conf, cluster).report()
+        assert report["live"] == 2
+
+
+class TestTargetedCampaign:
+    def test_only_params_restricts_findings_and_cost(self):
+        spec = catalog.spec_for("hdfs")
+        targeted = Campaign(
+            "hdfs", spec.registry, dependency_rules=spec.dependency_rules,
+            config=CampaignConfig(
+                only_params=frozenset({"dfs.heartbeat.interval"}))).run()
+        reported = {v.param for v in targeted.verdicts}
+        assert reported == {"dfs.heartbeat.interval"}
+        # restricting the scope must shrink the run drastically
+        assert targeted.stage_counts.after_prerun < 200
+        assert targeted.executions < 600
+
+    def test_only_params_on_safe_param_reports_nothing(self):
+        spec = catalog.spec_for("flink")
+        report = Campaign(
+            "flink", spec.registry,
+            config=CampaignConfig(
+                only_params=frozenset({"rest.port"}))).run()
+        assert report.verdicts == []

@@ -1,0 +1,79 @@
+"""Integration tests for the Hadoop Tools substrate (DistCp, Archive)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.hadooptools import DistCp, HadoopArchive
+from repro.apps.hdfs import DFSClient, HdfsConfiguration, MiniDFSCluster
+from repro.common import errors
+from repro.core.confagent import UNIT_TEST, ConfAgent
+from repro.core.testgen import HeteroAssignment, ParamAssignment
+
+
+def agent(param, group, group_value, other_value):
+    return ConfAgent(assignment=HeteroAssignment((ParamAssignment(
+        param=param, group=group, group_values=(group_value,),
+        other_value=other_value),)))
+
+
+def seeded_cluster(conf, files=3):
+    cluster = MiniDFSCluster(conf, num_datanodes=2)
+    cluster.start()
+    dfs = DFSClient(conf, cluster)
+    payloads = {}
+    for index in range(files):
+        name = "f%02d" % index
+        payloads[name] = ("payload-%d " % index).encode() * 10
+        dfs.write_file("/src/%s" % name, payloads[name], replication=1)
+    return cluster, dfs, payloads
+
+
+class TestDistCp:
+    def test_copy_round_trip(self):
+        conf = HdfsConfiguration()
+        cluster, dfs, payloads = seeded_cluster(conf)
+        copied = DistCp(conf, cluster).run("/src", "/dst")
+        assert len(copied) == 3
+        for name, payload in payloads.items():
+            assert dfs.read_file("/dst/%s" % name) == payload
+        cluster.shutdown()
+
+    def test_short_tool_timeout_vs_default_server(self):
+        """The Table-3 ipc.client.rpc-timeout.ms failure: the tool's 1s
+        deadline elapses while the NameNode paces keepalives at 60s."""
+        with agent("ipc.client.rpc-timeout.ms", UNIT_TEST, 1000, 0):
+            conf = HdfsConfiguration()
+            cluster, _, _ = seeded_cluster(conf)
+            with pytest.raises(errors.SocketTimeout):
+                DistCp(conf, cluster).run("/src", "/dst")
+            cluster.shutdown()
+
+    def test_matching_short_timeouts_pass(self):
+        with agent("ipc.client.rpc-timeout.ms", UNIT_TEST, 1000, 1000):
+            conf = HdfsConfiguration()
+            cluster, _, _ = seeded_cluster(conf)
+            assert len(DistCp(conf, cluster).run("/src", "/dst")) == 3
+            cluster.shutdown()
+
+
+class TestHadoopArchive:
+    def test_archive_round_trip(self):
+        conf = HdfsConfiguration()
+        cluster, _, payloads = seeded_cluster(conf, files=4)
+        tool = HadoopArchive(conf, cluster)
+        index = tool.archive("/src", "/out.har")
+        assert set(index) == set(payloads)
+        for name, payload in payloads.items():
+            assert tool.extract("/out.har", index, name) == payload
+        cluster.shutdown()
+
+    def test_corrupted_index_detected(self):
+        conf = HdfsConfiguration()
+        cluster, _, _ = seeded_cluster(conf, files=2)
+        tool = HadoopArchive(conf, cluster)
+        index = tool.archive("/src", "/out.har")
+        index["f00"] = dict(index["f00"], crc=0xDEADBEEF)
+        with pytest.raises(errors.ChecksumError):
+            tool.extract("/out.har", index, "f00")
+        cluster.shutdown()

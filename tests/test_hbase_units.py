@@ -1,0 +1,98 @@
+"""Focused unit tests for mini-HBase internals + markdown reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.hbase import HBaseConfiguration, MiniHBaseCluster
+from repro.common.errors import NodeStateError, RpcError
+
+
+@pytest.fixture()
+def hbase():
+    conf = HBaseConfiguration()
+    cluster = MiniHBaseCluster(conf, num_regionservers=2, with_rest=True)
+    cluster.start()
+    yield conf, cluster
+    cluster.shutdown()
+
+
+class TestMaster:
+    def test_regions_assigned_round_robin(self, hbase):
+        conf, cluster = hbase
+        cluster.master.create_table("rr", num_regions=4)
+        counts = sorted(len(rs.regions) for rs in cluster.regionservers)
+        assert counts == [2, 2]
+
+    def test_duplicate_table_rejected(self, hbase):
+        conf, cluster = hbase
+        cluster.master.create_table("dup")
+        with pytest.raises(RpcError, match="already exists"):
+            cluster.master.create_table("dup")
+
+    def test_locate_region_is_deterministic(self, hbase):
+        conf, cluster = hbase
+        cluster.master.create_table("route", num_regions=3)
+        first = cluster.master.locate_region("route", "rowK")
+        second = cluster.master.locate_region("route", "rowK")
+        assert first is second
+
+    def test_locate_unknown_table_rejected(self, hbase):
+        conf, cluster = hbase
+        with pytest.raises(RpcError, match="no such table"):
+            cluster.master.locate_region("ghost", "row")
+
+    def test_rest_status_counts(self, hbase):
+        conf, cluster = hbase
+        cluster.master.create_table("one")
+        status = cluster.rest_server.http.handle("http", "/status/cluster")
+        assert status == {"regionservers": 2, "tables": 1}
+
+
+class TestRegionServer:
+    def test_stopped_server_refuses_ops(self, hbase):
+        conf, cluster = hbase
+        server = cluster.regionservers[0]
+        server.stop()
+        with pytest.raises(NodeStateError):
+            server.put("r", "v")
+
+    def test_get_missing_row_returns_none(self, hbase):
+        conf, cluster = hbase
+        assert cluster.regionservers[0].get("missing") is None
+
+    def test_regionserver_lookup(self, hbase):
+        conf, cluster = hbase
+        assert cluster.regionserver("rs1").rs_id == "rs1"
+        assert cluster.regionserver("rs9") is None
+
+
+class TestMarkdownReport:
+    @pytest.fixture(scope="class")
+    def synth_report(self):
+        from repro.core.orchestrator import Campaign, CampaignConfig
+        from synthetic_app import SYNTH_REGISTRY, two_service_test
+        return Campaign("synth", SYNTH_REGISTRY, tests=[two_service_test()],
+                        config=CampaignConfig()).run()
+
+    def test_app_markdown_contains_verdict_table(self, synth_report):
+        from repro.core.reportmd import app_report_markdown
+        text = app_report_markdown(synth_report)
+        assert "# ZebraConf campaign: synth" in text
+        assert "| synth.mode | **TRUE PROBLEM** |" in text
+        assert "## Run statistics" in text
+
+    def test_campaign_markdown_lists_table3_reasons(self, synth_report):
+        from repro.core.report import CampaignReport
+        from repro.core.reportmd import campaign_report_markdown
+        text = campaign_report_markdown(CampaignReport(apps=[synth_report]))
+        assert "# ZebraConf evaluation" in text
+        assert "`synth.mode`" in text
+
+    def test_cli_markdown_flag(self, tmp_path, capsys):
+        from repro.cli import main
+        path = tmp_path / "flink.md"
+        assert main(["campaign", "flink", "--markdown", str(path)]) == 0
+        text = path.read_text()
+        assert "# ZebraConf campaign: flink" in text
+        assert "akka.ssl.enabled" in text

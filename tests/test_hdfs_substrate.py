@@ -1,0 +1,304 @@
+"""Integration tests for the mini-HDFS substrate.
+
+Each heterogeneous scenario is driven through an explicit ConfAgent
+session with a hand-built assignment, verifying that the substrate fails
+exactly the way Table 3 describes — and that both homogeneous sides pass.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import pytest
+
+from repro.apps.hdfs import (DFSClient, HdfsConfiguration, MiniDFSCluster,
+                             run_fsck)
+from repro.common import errors
+from repro.core.confagent import UNIT_TEST, ConfAgent
+from repro.core.testgen import HeteroAssignment, ParamAssignment
+
+
+def hetero(param, group, group_value, other_value):
+    """ConfAgent session giving ``group`` one value and everyone else the
+    other."""
+    assignment = HeteroAssignment((ParamAssignment(
+        param=param, group=group,
+        group_values=(group_value,) if not isinstance(group_value, tuple)
+        else group_value,
+        other_value=other_value),))
+    return ConfAgent(assignment=assignment)
+
+
+def homo(param, value):
+    assignment = HeteroAssignment((ParamAssignment(
+        param=param, group="__nobody__", group_values=(value,),
+        other_value=value),))
+    return ConfAgent(assignment=assignment)
+
+
+@contextlib.contextmanager
+def cluster_session(agent, **cluster_kwargs):
+    with agent:
+        conf = HdfsConfiguration()
+        cluster = MiniDFSCluster(conf, **cluster_kwargs)
+        try:
+            cluster.start()
+            yield conf, cluster, DFSClient(conf, cluster)
+        finally:
+            cluster.shutdown()
+
+
+def write_read(agent, **cluster_kwargs):
+    with cluster_session(agent, **cluster_kwargs) as (_, cluster, client):
+        payload = b"integration-payload" * 16
+        client.write_file("/it/file", payload, replication=2)
+        assert client.read_file("/it/file") == payload
+
+
+class TestWireFormatFamily:
+    def test_checksum_type_mismatch_fails(self):
+        with pytest.raises(errors.ChecksumError):
+            write_read(hetero("dfs.checksum.type", "DataNode", "CRC32C",
+                              "CRC32"), num_datanodes=2)
+
+    def test_checksum_type_homo_both_sides_pass(self):
+        for value in ("CRC32", "CRC32C"):
+            write_read(homo("dfs.checksum.type", value), num_datanodes=2)
+
+    def test_bytes_per_checksum_mismatch_fails(self):
+        with pytest.raises(errors.ChecksumError):
+            write_read(hetero("dfs.bytes-per-checksum", "DataNode", 16, 512),
+                       num_datanodes=2)
+
+    def test_data_transfer_protection_mismatch_fails(self):
+        with pytest.raises(errors.SaslError):
+            write_read(hetero("dfs.data.transfer.protection", "DataNode",
+                              "privacy", "authentication"), num_datanodes=2)
+
+    def test_rpc_protection_mismatch_fails_at_startup(self):
+        with pytest.raises(errors.SaslError):
+            write_read(hetero("hadoop.rpc.protection", "NameNode",
+                              "integrity", "authentication"), num_datanodes=1)
+
+    def test_encryption_client_on_namenode_off(self):
+        with pytest.raises(errors.HandshakeError):
+            write_read(hetero("dfs.encrypt.data.transfer", "NameNode", False,
+                              True), num_datanodes=2)
+
+    def test_encryption_datanode_on_rest_off(self):
+        with pytest.raises((errors.HandshakeError, errors.DecodeError)):
+            write_read(hetero("dfs.encrypt.data.transfer", "DataNode", True,
+                              False), num_datanodes=2)
+
+    def test_encryption_homo_on_passes(self):
+        write_read(homo("dfs.encrypt.data.transfer", True), num_datanodes=2)
+
+    def test_block_tokens_datanode_on_namenode_off(self):
+        with pytest.raises(errors.AccessTokenError):
+            write_read(hetero("dfs.block.access.token.enable", "DataNode",
+                              True, False), num_datanodes=1)
+
+    def test_block_tokens_homo_on_passes(self):
+        write_read(homo("dfs.block.access.token.enable", True),
+                   num_datanodes=2)
+
+
+class TestTimeoutsAndHeartbeats:
+    def test_socket_timeout_short_client_slow_server(self):
+        with pytest.raises(errors.SocketTimeout):
+            write_read(hetero("dfs.client.socket-timeout", UNIT_TEST, 500,
+                              60000), num_datanodes=2)
+
+    def test_socket_timeout_homo_short_passes(self):
+        write_read(homo("dfs.client.socket-timeout", 500), num_datanodes=2)
+
+    def test_slow_heartbeat_sender_declared_dead(self):
+        with cluster_session(hetero("dfs.heartbeat.interval", "DataNode",
+                                    3000, 3),
+                             num_datanodes=2) as (_, cluster, client):
+            cluster.run_for(1000.0)
+            assert client.get_stats()["dead"] == 2
+
+    def test_heartbeat_homo_slow_stays_alive(self):
+        with cluster_session(homo("dfs.heartbeat.interval", 3000),
+                             num_datanodes=2) as (_, cluster, client):
+            cluster.run_for(1000.0)
+            assert client.get_stats()["dead"] == 0
+
+    def test_recheck_interval_delays_dead_detection(self):
+        with cluster_session(
+                hetero("dfs.namenode.heartbeat.recheck-interval", "NameNode",
+                       3000000, 300000),
+                num_datanodes=2) as (_, cluster, client):
+            cluster.datanodes[1].stop()
+            cluster.run_for(1000.0)  # past the client-computed expiry
+            assert client.get_stats()["dead"] == 0  # the NN hasn't swept yet
+
+    def test_stale_interval_differs(self):
+        with cluster_session(
+                hetero("dfs.namenode.stale.datanode.interval", "NameNode",
+                       3000000, 30000),
+                num_datanodes=2) as (_, cluster, client):
+            cluster.datanodes[1].stop()
+            cluster.run_for(60.0)
+            assert client.get_stats()["stale"] == 0
+
+
+class TestNameNodeLimits:
+    def test_component_length_enforced_on_namenode(self):
+        with cluster_session(
+                hetero("dfs.namenode.fs-limits.max-component-length",
+                       "NameNode", 25, 255),
+                num_datanodes=1) as (_, cluster, client):
+            with pytest.raises(errors.LimitExceededError):
+                client.mkdirs("/limits/" + "d" * 100)
+
+    def test_directory_items_enforced_on_namenode(self):
+        with cluster_session(
+                hetero("dfs.namenode.fs-limits.max-directory-items",
+                       "NameNode", 3, 1048576),
+                num_datanodes=1) as (_, cluster, client):
+            client.mkdirs("/fanout")
+            with pytest.raises(errors.LimitExceededError):
+                for index in range(10):
+                    client.mkdirs("/fanout/sub%d" % index)
+
+    def test_corrupt_listing_truncated_by_namenode(self):
+        with cluster_session(
+                hetero("dfs.namenode.max-corrupt-file-blocks-returned",
+                       "NameNode", 1, 100),
+                num_datanodes=1) as (_, cluster, client):
+            blocks = []
+            for index in range(4):
+                blocks.extend(client.write_file("/c/f%d" % index, b"z" * 32,
+                                                replication=1))
+            client.report_bad_blocks(blocks)
+            assert len(client.list_corrupt_file_blocks()) == 1
+
+    def test_snapshot_descendant_declined(self):
+        with cluster_session(
+                hetero("dfs.namenode.snapshotdiff.allow.snap-root-descendant",
+                       "NameNode", False, True),
+                num_datanodes=1) as (_, cluster, client):
+            client.mkdirs("/snap/sub")
+            client.allow_snapshot("/snap")
+            client.create_snapshot("/snap", "s0")
+            with pytest.raises(errors.SnapshotError):
+                client.snapshot_diff("/snap", "/snap/sub", "s0")
+
+
+class TestWebAndReports:
+    def test_http_policy_mismatch_refused(self):
+        with cluster_session(hetero("dfs.http.policy", "NameNode",
+                                    "HTTPS_ONLY", "HTTP_ONLY"),
+                             num_datanodes=1) as (conf, cluster, _):
+            with pytest.raises(errors.ConnectError):
+                run_fsck(conf, cluster.namenode)
+
+    def test_http_policy_homo_https_passes(self):
+        with cluster_session(homo("dfs.http.policy", "HTTPS_ONLY"),
+                             num_datanodes=1) as (conf, cluster, _):
+            assert run_fsck(conf, cluster.namenode)["healthy"]
+
+    def test_du_reserved_changes_reported_remaining(self):
+        reservation = 10 * 1024 ** 3
+        with cluster_session(hetero("dfs.datanode.du.reserved", "DataNode",
+                                    reservation, 0),
+                             num_datanodes=1) as (_, cluster, client):
+            cluster.run_for(10.0)
+            capacity = cluster.datanodes[0].capacity
+            assert client.get_stats()["remaining"] == capacity - reservation
+
+    def test_delayed_incremental_report_keeps_block_visible(self):
+        with cluster_session(
+                hetero("dfs.blockreport.incremental.intervalMsec", "DataNode",
+                       300000, 0),
+                num_datanodes=1) as (_, cluster, client):
+            client.write_file("/ibr/f", b"d" * 64, replication=1)
+            client.delete("/ibr/f")
+            assert client.get_stats()["blocks"] == 1  # IBR still batched
+            cluster.run_for(301.0)
+            assert client.get_stats()["blocks"] == 0
+
+    def test_replace_datanode_refused_by_namenode(self):
+        with cluster_session(
+                hetero("dfs.client.block.write.replace-datanode-on-failure.enable",
+                       "NameNode", False, True),
+                num_datanodes=3) as (_, cluster, client):
+            with pytest.raises(errors.RpcError):
+                client.write_file("/rec/f", b"d" * 64, replication=2,
+                                  fail_pipeline_at=0)
+
+
+class TestFullBlockReports:
+    def test_reconciliation_registers_missed_replicas(self):
+        conf = HdfsConfiguration()
+        conf.set("dfs.blockreport.intervalMsec", 60000)
+        with MiniDFSCluster(conf, num_datanodes=1) as cluster:
+            cluster.start()
+            client = DFSClient(conf, cluster)
+            block_id = client.write_file("/fbr/file", b"x" * 64,
+                                         replication=1)[0]
+            # simulate the NameNode losing track of the replica
+            info = cluster.namenode.block_manager.blocks[block_id]
+            info.locations.clear()
+            assert client.get_stats()["blocks"] == 0
+            cluster.run_for(61.0)  # the next full report re-registers it
+            assert client.get_stats()["blocks"] == 1
+
+    def test_reconciliation_never_removes_replicas(self):
+        """Removals belong to incremental reports; the full report must
+        not short-circuit the batching window (Table 3 semantics)."""
+        conf = HdfsConfiguration()
+        conf.set("dfs.blockreport.intervalMsec", 10000)
+        conf.set("dfs.blockreport.incremental.intervalMsec", 300000)
+        with MiniDFSCluster(conf, num_datanodes=1) as cluster:
+            cluster.start()
+            client = DFSClient(conf, cluster)
+            client.write_file("/fbr/keep", b"y" * 64, replication=1)
+            client.delete("/fbr/keep")
+            cluster.run_for(30.0)  # several full reports, no IBR yet
+            assert client.get_stats()["blocks"] == 1
+            cluster.run_for(280.0)  # the batched IBR finally lands
+            assert client.get_stats()["blocks"] == 0
+
+
+class TestFailureInjection:
+    def test_datanode_crash_mid_balancing_surfaces(self):
+        from repro.apps.hdfs import Balancer
+        from repro.common.errors import NodeStateError
+        conf = HdfsConfiguration()
+        with MiniDFSCluster(conf, num_datanodes=2) as cluster:
+            cluster.start()
+            moves = [{"block_id": cluster.place_block("/fi/f%d" % i, ["dn0"]),
+                      "source": "dn0", "target": "dn1"} for i in range(5)]
+            cluster.datanodes[0].stop()
+            balancer = Balancer(conf, cluster)
+            with pytest.raises(NodeStateError):
+                balancer.run_balancing(moves, timeout_s=60.0)
+
+
+class TestHaAndImages:
+    def test_journal_declines_in_progress_tailing(self):
+        with cluster_session(hetero("dfs.ha.tail-edits.in-progress",
+                                    "JournalNode", False, True),
+                             num_datanodes=1, num_namenodes=2,
+                             with_journal=True) as (_, cluster, client):
+            client.mkdirs("/ha/d0")
+            with pytest.raises(errors.RpcError):
+                cluster.standby_namenode.tail_edits()
+
+    def test_compressed_and_plain_images_same_contents(self):
+        from repro.apps.hdfs.namespace import Namespace
+        with cluster_session(hetero("dfs.image.compress", "NameNode",
+                                    (True, False), False),
+                             num_datanodes=1, num_namenodes=2,
+                             with_journal=True) as (_, cluster, client):
+            client.mkdirs("/img/d0")
+            cluster.namenode.finalize_log_segment()
+            cluster.standby_namenode.tail_edits()
+            active = cluster.namenode.save_image()
+            standby = cluster.standby_namenode.save_image()
+            assert len(active) != len(standby)  # the strict check would fail
+            assert (Namespace.image_contents(active)
+                    == Namespace.image_contents(standby))

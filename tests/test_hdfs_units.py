@@ -1,0 +1,284 @@
+"""Focused unit tests for mini-HDFS internals: Namespace, BlockManager,
+data-transfer envelopes, and the HBase thrift codec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.hbase.thrift import thrift_decode, thrift_encode
+from repro.apps.hdfs.blockmanager import BlockManager
+from repro.apps.hdfs.datatransfer import open_envelope, seal_envelope
+from repro.apps.hdfs.namespace import Namespace, split_path
+from repro.common.errors import (DecodeError, HandshakeError,
+                                 LimitExceededError, PlacementPolicyError,
+                                 SnapshotError)
+
+
+def make_namespace(max_component=255, max_items=1 << 20):
+    return Namespace(max_component_length_fn=lambda: max_component,
+                     max_directory_items_fn=lambda: max_items)
+
+
+class TestSplitPath:
+    def test_components(self):
+        assert split_path("/a/b/c") == ["a", "b", "c"]
+
+    def test_root(self):
+        assert split_path("/") == []
+
+    def test_trailing_slash_ignored(self):
+        assert split_path("/a/b/") == ["a", "b"]
+
+    def test_relative_rejected(self):
+        with pytest.raises(ValueError):
+            split_path("a/b")
+
+
+class TestNamespace:
+    def test_mkdirs_creates_intermediates(self):
+        namespace = make_namespace()
+        namespace.mkdirs("/a/b/c")
+        assert namespace.exists("/a/b/c")
+        assert namespace.exists("/a")
+
+    def test_mkdirs_idempotent(self):
+        namespace = make_namespace()
+        namespace.mkdirs("/a/b")
+        namespace.mkdirs("/a/b")
+        assert len(namespace.lookup_dir("/a").children) == 1
+
+    def test_create_file_and_lookup(self):
+        namespace = make_namespace()
+        inode = namespace.create_file("/dir/file.txt", replication=2)
+        assert namespace.lookup_file("/dir/file.txt") is inode
+        with pytest.raises(FileNotFoundError):
+            namespace.lookup_file("/dir/missing")
+
+    def test_file_over_existing_path_rejected(self):
+        namespace = make_namespace()
+        namespace.create_file("/x")
+        with pytest.raises(FileExistsError):
+            namespace.create_file("/x")
+
+    def test_component_limit_enforced(self):
+        namespace = make_namespace(max_component=8)
+        with pytest.raises(LimitExceededError):
+            namespace.mkdirs("/" + "c" * 9)
+        namespace.mkdirs("/" + "c" * 8)  # boundary passes
+
+    def test_fanout_limit_enforced(self):
+        namespace = make_namespace(max_items=2)
+        namespace.mkdirs("/d/a")
+        namespace.mkdirs("/d/b")  # second child still fits
+        with pytest.raises(LimitExceededError):
+            namespace.mkdirs("/d/c")  # /d already holds 2 items
+
+    def test_delete_returns_all_blocks(self):
+        namespace = make_namespace()
+        first = namespace.create_file("/t/a")
+        first.block_ids.extend([1, 2])
+        second = namespace.create_file("/t/sub/b")
+        second.block_ids.append(3)
+        assert sorted(namespace.delete("/t")) == [1, 2, 3]
+        assert not namespace.exists("/t")
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(FileNotFoundError):
+            make_namespace().delete("/nope")
+
+    def test_snapshot_requires_snapshottable(self):
+        namespace = make_namespace()
+        namespace.mkdirs("/snap")
+        with pytest.raises(SnapshotError):
+            namespace.create_snapshot("/snap", "s0")
+
+    def test_snapshot_diff_reports_additions(self):
+        namespace = make_namespace()
+        namespace.mkdirs("/snap")
+        namespace.allow_snapshot("/snap")
+        namespace.create_snapshot("/snap", "s0")
+        namespace.mkdirs("/snap/new")
+        diff = namespace.snapshot_diff("/snap", "/snap", "s0",
+                                       allow_descendant_fn=lambda: True)
+        assert diff == ["new"]
+
+    def test_snapshot_diff_unknown_snapshot(self):
+        namespace = make_namespace()
+        namespace.mkdirs("/snap")
+        namespace.allow_snapshot("/snap")
+        with pytest.raises(SnapshotError):
+            namespace.snapshot_diff("/snap", "/snap", "nope",
+                                    allow_descendant_fn=lambda: True)
+
+    def test_snapshot_diff_outside_root_rejected(self):
+        namespace = make_namespace()
+        namespace.mkdirs("/snap")
+        namespace.mkdirs("/other")
+        namespace.allow_snapshot("/snap")
+        namespace.create_snapshot("/snap", "s0")
+        with pytest.raises(SnapshotError):
+            namespace.snapshot_diff("/snap", "/other", "s0",
+                                    allow_descendant_fn=lambda: True)
+
+    def test_rename_moves_subtree(self):
+        namespace = make_namespace()
+        inode = namespace.create_file("/a/b/file")
+        inode.block_ids.append(42)
+        namespace.rename("/a/b", "/moved/b")
+        assert namespace.exists("/moved/b/file")
+        assert not namespace.exists("/a/b")
+        assert namespace.lookup_file("/moved/b/file").block_ids == [42]
+
+    def test_rename_missing_source(self):
+        with pytest.raises(FileNotFoundError):
+            make_namespace().rename("/nope", "/dst")
+
+    def test_rename_onto_existing_rejected(self):
+        namespace = make_namespace()
+        namespace.mkdirs("/a")
+        namespace.mkdirs("/b")
+        with pytest.raises(FileExistsError):
+            namespace.rename("/a", "/b")
+
+    def test_rename_enforces_component_limit(self):
+        namespace = make_namespace(max_component=8)
+        namespace.mkdirs("/ok")
+        with pytest.raises(LimitExceededError):
+            namespace.rename("/ok", "/" + "x" * 99)
+
+    def test_image_round_trip_both_codecs(self):
+        namespace = make_namespace()
+        namespace.mkdirs("/img/a")
+        plain = namespace.save_image(compress=False)
+        packed = namespace.save_image(compress=True)
+        assert Namespace.image_contents(plain) == \
+            Namespace.image_contents(packed)
+        assert len(plain) != len(packed)
+
+    def test_image_contents_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Namespace.image_contents(b"not-an-image")
+
+
+class TestBlockManager:
+    def make(self, factor=3, cap=100):
+        return BlockManager(upgrade_domain_factor_fn=lambda: factor,
+                            max_corrupt_returned_fn=lambda: cap)
+
+    def test_allocation_and_replicas(self):
+        manager = self.make()
+        info = manager.allocate("/f", 1024)
+        manager.add_replica(info.block_id, "dn0")
+        assert manager.live_block_count() == 1
+
+    def test_deletion_visible_only_after_report(self):
+        manager = self.make()
+        info = manager.allocate("/f", 1024)
+        manager.add_replica(info.block_id, "dn0")
+        manager.begin_deletion(info.block_id, "dn0")
+        assert manager.live_block_count() == 1  # the IBR has not arrived
+        manager.apply_incremental_report("dn0", [info.block_id])
+        assert manager.live_block_count() == 0
+        assert info.block_id not in manager.blocks
+
+    def test_report_for_unknown_block_ignored(self):
+        manager = self.make()
+        manager.apply_incremental_report("dn0", [999])
+
+    def test_corrupt_listing_truncation(self):
+        manager = self.make(cap=2)
+        ids = []
+        for _ in range(4):
+            info = manager.allocate("/f", 1)
+            manager.add_replica(info.block_id, "dn0")
+            ids.append(info.block_id)
+        manager.report_bad_blocks(ids)
+        assert manager.list_corrupt_file_blocks() == sorted(ids)[:2]
+
+    def test_validate_move_rejects_domain_collapse(self):
+        manager = self.make(factor=3)
+        info = manager.allocate("/f", 1)
+        for dn, domain in (("dn0", "ud0"), ("dn1", "ud1"), ("dn2", "ud2")):
+            manager.add_replica(info.block_id, dn)
+            manager.set_upgrade_domain(dn, domain)
+        manager.set_upgrade_domain("dn3", "ud0")
+        with pytest.raises(PlacementPolicyError):
+            manager.validate_move(info.block_id, "dn2", "dn3")
+
+    def test_validate_move_requires_source_replica(self):
+        manager = self.make()
+        info = manager.allocate("/f", 1)
+        manager.add_replica(info.block_id, "dn0")
+        with pytest.raises(PlacementPolicyError):
+            manager.validate_move(info.block_id, "dn5", "dn1")
+
+    def test_apply_move_updates_locations(self):
+        manager = self.make(factor=1)
+        info = manager.allocate("/f", 1)
+        manager.add_replica(info.block_id, "dn0")
+        manager.apply_move(info.block_id, "dn0", "dn1")
+        assert info.locations == {"dn1"}
+
+
+class TestEnvelopes:
+    KEY = {"key_id": 7, "material": b"material".hex()}
+
+    def test_plaintext_round_trip(self):
+        envelope = seal_envelope({"data": "00ff"}, None)
+        assert open_envelope(envelope, expect_encrypted=False,
+                             key_lookup=None)["data"] == "00ff"
+
+    def test_encrypted_round_trip(self):
+        envelope = seal_envelope({"data": "00ff"}, self.KEY)
+        out = open_envelope(envelope, expect_encrypted=True,
+                            key_lookup=lambda kid: b"material")
+        assert out["data"] == "00ff"
+
+    def test_expect_encrypted_plaintext_rejected(self):
+        envelope = seal_envelope({"data": "00"}, None)
+        with pytest.raises(HandshakeError):
+            open_envelope(envelope, expect_encrypted=True,
+                          key_lookup=lambda kid: b"k")
+
+    def test_unexpected_encryption_garbles(self):
+        envelope = seal_envelope({"data": "00"}, self.KEY)
+        with pytest.raises(DecodeError):
+            open_envelope(envelope, expect_encrypted=False, key_lookup=None)
+
+    def test_missing_key_surfaces_lookup_error(self):
+        envelope = seal_envelope({"data": "00"}, self.KEY)
+
+        def lookup(kid):
+            raise HandshakeError("block key %d is missing" % kid)
+
+        with pytest.raises(HandshakeError, match="missing"):
+            open_envelope(envelope, expect_encrypted=True, key_lookup=lookup)
+
+
+class TestThriftCodec:
+    @pytest.mark.parametrize("compact", (True, False))
+    @pytest.mark.parametrize("framed", (True, False))
+    def test_round_trip_matrix(self, compact, framed):
+        wire = thrift_encode({"op": "get"}, compact=compact, framed=framed)
+        assert thrift_decode(wire, compact=compact,
+                             framed=framed) == {"op": "get"}
+
+    def test_protocol_mismatch(self):
+        wire = thrift_encode({"op": "get"}, compact=True, framed=False)
+        with pytest.raises(DecodeError):
+            thrift_decode(wire, compact=False, framed=False)
+
+    def test_framed_to_unframed(self):
+        wire = thrift_encode({"op": "get"}, compact=False, framed=True)
+        with pytest.raises(DecodeError):
+            thrift_decode(wire, compact=False, framed=False)
+
+    def test_unframed_to_framed(self):
+        wire = thrift_encode({"op": "get"}, compact=False, framed=False)
+        with pytest.raises(DecodeError):
+            thrift_decode(wire, compact=False, framed=True)
+
+    def test_truncated_frame_detected(self):
+        wire = thrift_encode({"op": "get"}, compact=False, framed=True)
+        with pytest.raises(DecodeError):
+            thrift_decode(wire[:-2], compact=False, framed=True)

@@ -1,0 +1,76 @@
+"""Unit tests for http/https policy endpoints."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError, ConnectError
+from repro.common.httpserver import (HTTP_POLICIES, HttpServer, client_scheme,
+                                     http_get, schemes_served)
+
+
+class TestPolicyTables:
+    def test_http_only(self):
+        assert schemes_served("HTTP_ONLY") == ("http",)
+        assert client_scheme("HTTP_ONLY") == "http"
+
+    def test_https_only(self):
+        assert schemes_served("HTTPS_ONLY") == ("https",)
+        assert client_scheme("HTTPS_ONLY") == "https"
+
+    def test_both(self):
+        assert schemes_served("HTTP_AND_HTTPS") == ("http", "https")
+        assert client_scheme("HTTP_AND_HTTPS") == "http"
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            schemes_served("FTP_ONLY")
+        with pytest.raises(ConfigurationError):
+            client_scheme("FTP_ONLY")
+
+
+class TestServer:
+    def make(self, policy):
+        server = HttpServer("TestDaemon", policy)
+        server.route("/status", lambda: {"ok": True})
+        return server
+
+    def test_served_scheme_works(self):
+        server = self.make("HTTP_ONLY")
+        assert server.handle("http", "/status") == {"ok": True}
+        assert server.requests_served == [("http", "/status")]
+
+    def test_unserved_scheme_refused(self):
+        server = self.make("HTTPS_ONLY")
+        with pytest.raises(ConnectError):
+            server.handle("http", "/status")
+
+    def test_unknown_route_404(self):
+        server = self.make("HTTP_ONLY")
+        with pytest.raises(ConnectError):
+            server.handle("http", "/nope")
+
+    def test_handler_arguments_forwarded(self):
+        server = HttpServer("D", "HTTP_ONLY")
+        server.route("/echo", lambda x, y=0: (x, y))
+        assert server.handle("http", "/echo", 1, y=2) == (1, 2)
+
+    @given(st.sampled_from(HTTP_POLICIES), st.sampled_from(HTTP_POLICIES))
+    @settings(max_examples=20, deadline=None)
+    def test_client_server_policy_matrix(self, client_policy, server_policy):
+        """The Table-3 dfs.http.policy / yarn.http.policy failure matrix:
+        a client fails exactly when the scheme its policy picks is not
+        among the schemes the server's policy binds."""
+        server = self.make(server_policy)
+        should_work = client_scheme(client_policy) in schemes_served(server_policy)
+        if should_work:
+            assert http_get(server, client_policy, "/status") == {"ok": True}
+        else:
+            with pytest.raises(ConnectError):
+                http_get(server, client_policy, "/status")
+
+    def test_homogeneous_policies_always_work(self):
+        for policy in HTTP_POLICIES:
+            assert http_get(self.make(policy), policy, "/status") == {"ok": True}

@@ -1,0 +1,80 @@
+"""Tests for the per-node configuration-file adapter (§3.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.hdfs import DFSClient, HdfsConfiguration, MiniDFSCluster
+from repro.core.confagent import NO_OVERRIDE, UNIT_TEST
+from repro.core.integration import FileAssignment, integration_session
+
+
+class TestFileAssignment:
+    def test_exact_index_wins(self):
+        assignment = FileAssignment({
+            "DataNode": {"p": 1},
+            "DataNode[2]": {"p": 2},
+        })
+        assert assignment.value_for("DataNode", 2, "p") == 2
+        assert assignment.value_for("DataNode", 0, "p") == 1
+
+    def test_wildcard_fallback(self):
+        assignment = FileAssignment({"*": {"p": 7}})
+        assert assignment.value_for("NameNode", 0, "p") == 7
+        assert assignment.value_for(UNIT_TEST, 0, "p") == 7
+
+    def test_unlisted_param_not_overridden(self):
+        assignment = FileAssignment({"DataNode": {"p": 1}})
+        assert assignment.value_for("DataNode", 0, "q") is NO_OVERRIDE
+        assert assignment.value_for("NameNode", 0, "p") is NO_OVERRIDE
+
+    def test_bad_selector_rejected(self):
+        with pytest.raises(ValueError):
+            FileAssignment({"DataNode[x]": {}})
+
+
+class TestIntegrationStyleCluster:
+    def test_per_node_files_reach_the_right_nodes(self):
+        files = {
+            "NameNode": {"dfs.namenode.fs-limits.max-directory-items": 5},
+            "DataNode[0]": {"dfs.datanode.du.reserved": 1024},
+            "DataNode[1]": {"dfs.datanode.du.reserved": 2048},
+        }
+        with integration_session(files):
+            conf = HdfsConfiguration()
+            cluster = MiniDFSCluster(conf, num_datanodes=2)
+            cluster.start()
+            nn = cluster.namenode
+            assert nn.conf.get_int(
+                "dfs.namenode.fs-limits.max-directory-items") == 5
+            assert cluster.datanodes[0]._reserved() == 1024
+            assert cluster.datanodes[1]._reserved() == 2048
+            # the client/test side sees defaults
+            assert conf.get_int("dfs.datanode.du.reserved") == 0
+            cluster.shutdown()
+
+    def test_integration_files_reproduce_a_table3_failure(self):
+        """The 'trivial in a real distributed setting' path: hand-written
+        per-node files reproduce the heartbeat failure directly."""
+        files = {
+            "DataNode": {"dfs.heartbeat.interval": 3000},
+            "NameNode": {"dfs.heartbeat.interval": 3},
+        }
+        with integration_session(files):
+            conf = HdfsConfiguration()
+            cluster = MiniDFSCluster(conf, num_datanodes=2)
+            cluster.start()
+            cluster.run_for(1000.0)
+            stats = DFSClient(conf, cluster).get_stats()
+            assert stats["dead"] == 2
+            cluster.shutdown()
+
+    def test_homogeneous_files_are_safe(self):
+        files = {"*": {"dfs.heartbeat.interval": 3000}}
+        with integration_session(files):
+            conf = HdfsConfiguration()
+            cluster = MiniDFSCluster(conf, num_datanodes=2)
+            cluster.start()
+            cluster.run_for(1000.0)
+            assert DFSClient(conf, cluster).get_stats()["dead"] == 0
+            cluster.shutdown()

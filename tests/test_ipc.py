@@ -1,0 +1,149 @@
+"""Unit tests for the RPC layer and the shared-IPC quirk."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.configuration import Configuration
+from repro.common.errors import RpcError, SaslError, SocketTimeout
+from repro.common.ipc import (IPC_SHARED_PARAMS, IpcComponent, RpcClient,
+                              RpcServer, ipc_sharing_enabled, set_ipc_sharing)
+from repro.common.params import DURATION_MS, ENUM, INT, ParamRegistry
+from repro.common.simulation import Simulator
+
+
+def make_conf_class():
+    registry = ParamRegistry("ipctest")
+    registry.define("hadoop.rpc.protection", ENUM, "authentication",
+                    values=("authentication", "integrity", "privacy"))
+    registry.define("ipc.client.rpc-timeout.ms", DURATION_MS, 0)
+    for name in IPC_SHARED_PARAMS:
+        registry.define(name, INT, 10)
+
+    class IpcTestConfiguration(Configuration):
+        pass
+
+    IpcTestConfiguration.registry = registry
+    return IpcTestConfiguration
+
+
+@pytest.fixture()
+def conf_class():
+    return make_conf_class()
+
+
+def make_endpoints(conf_class, client_overrides=None, server_overrides=None):
+    client_conf = conf_class()
+    server_conf = conf_class()
+    for name, value in (client_overrides or {}).items():
+        client_conf.set(name, value)
+    for name, value in (server_overrides or {}).items():
+        server_conf.set(name, value)
+    server = RpcServer("TestServer", server_conf)
+    server.register("echo", lambda value: value)
+    server.register("add", lambda a, b: a + b)
+    return RpcClient(client_conf), server
+
+
+class TestRpcCall:
+    def test_round_trip(self, conf_class):
+        client, server = make_endpoints(conf_class)
+        assert client.call(server, "echo", {"k": [1, 2]}) == {"k": [1, 2]}
+        assert client.call(server, "add", 2, 3) == 5
+        assert server.calls_served == 2
+
+    def test_unknown_method(self, conf_class):
+        client, server = make_endpoints(conf_class)
+        with pytest.raises(RpcError):
+            client.call(server, "nope")
+
+    @pytest.mark.parametrize("level", ("authentication", "integrity",
+                                       "privacy"))
+    def test_matching_protection_works(self, conf_class, level):
+        client, server = make_endpoints(
+            conf_class, {"hadoop.rpc.protection": level},
+            {"hadoop.rpc.protection": level})
+        assert client.call(server, "echo", "x") == "x"
+
+    def test_protection_mismatch_fails(self, conf_class):
+        client, server = make_endpoints(
+            conf_class, {"hadoop.rpc.protection": "privacy"},
+            {"hadoop.rpc.protection": "authentication"})
+        with pytest.raises(SaslError):
+            client.call(server, "echo", "x")
+
+
+class TestTimedCalls:
+    def run_timed(self, conf_class, client_timeout_ms, server_timeout_ms,
+                  duration):
+        sim = Simulator()
+        client, server = make_endpoints(
+            conf_class, {"ipc.client.rpc-timeout.ms": client_timeout_ms},
+            {"ipc.client.rpc-timeout.ms": server_timeout_ms})
+        return sim.run_process(
+            client.call_timed(server, "echo", ("ok",), duration=duration))
+
+    def test_fast_call_unaffected(self, conf_class):
+        assert self.run_timed(conf_class, 1000, 0, duration=0.3) == "ok"
+
+    def test_no_timeout_waits_forever(self, conf_class):
+        assert self.run_timed(conf_class, 0, 0, duration=500.0) == "ok"
+
+    def test_matching_short_timeouts_keepalive_saves_call(self, conf_class):
+        # server keepalive = timeout/2 = 0.5s < client deadline 1s
+        assert self.run_timed(conf_class, 1000, 1000, duration=300.0) == "ok"
+
+    def test_client_short_server_default_times_out(self, conf_class):
+        # the Table-3 failure: server paces at 60s, client waits 1s
+        with pytest.raises(SocketTimeout):
+            self.run_timed(conf_class, 1000, 0, duration=300.0)
+
+    def test_client_short_server_long_times_out(self, conf_class):
+        with pytest.raises(SocketTimeout):
+            self.run_timed(conf_class, 1000, 120000, duration=300.0)
+
+    def test_client_long_server_short_is_fine(self, conf_class):
+        assert self.run_timed(conf_class, 120000, 1000, duration=300.0) == "ok"
+
+
+class TestSharedIpcComponent:
+    def test_sharing_flag_toggles(self):
+        previous = set_ipc_sharing(False)
+        try:
+            assert not ipc_sharing_enabled()
+        finally:
+            set_ipc_sharing(previous)
+
+    def test_consistent_values_pass_cross_check(self, conf_class):
+        ipc = IpcComponent(conf_class, shared=True)
+        ipc.check_connection_params(conf_class())
+        assert ipc.cross_check_failures == 0
+
+    def test_heterogeneous_view_trips_cross_check(self, conf_class):
+        """Simulates ConfAgent giving the caller's conf a different value
+        than the component's own conf: the spurious failure behind the
+        paper's four IPC false positives."""
+        ipc = IpcComponent(conf_class, shared=True)
+        caller = conf_class()
+        caller.set("ipc.client.connect.max.retries", 1000)
+        with pytest.raises(RpcError):
+            ipc.check_connection_params(caller)
+        assert ipc.cross_check_failures == 1
+
+    def test_sharing_disabled_is_immune(self, conf_class):
+        """The paper's one-line Hadoop fix."""
+        ipc = IpcComponent(conf_class, shared=False)
+        caller = conf_class()
+        caller.set("ipc.client.connect.max.retries", 1000)
+        ipc.check_connection_params(caller)
+        assert ipc.cross_check_failures == 0
+
+    def test_rpc_client_consults_component(self, conf_class):
+        ipc = IpcComponent(conf_class, shared=True)
+        client_conf = conf_class()
+        client_conf.set("ipc.client.kill.max", 99)
+        server = RpcServer("S", conf_class())
+        server.register("echo", lambda v: v)
+        client = RpcClient(client_conf, ipc=ipc)
+        with pytest.raises(RpcError):
+            client.call(server, "echo", 1)

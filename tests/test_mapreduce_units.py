@@ -1,0 +1,106 @@
+"""Focused unit tests for mini-MapReduce internals."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.mapreduce import JobConf, JobRunner, MiniMRCluster
+from repro.apps.mapreduce.tasks import _partition
+from repro.common.errors import CommitError, ShuffleError
+
+
+@pytest.fixture()
+def cluster():
+    conf = JobConf()
+    mini = MiniMRCluster(conf)
+    mini.start()
+    yield conf, mini
+    mini.shutdown()
+
+
+class TestPartitioner:
+    @given(st.text(min_size=1, max_size=20), st.integers(1, 16))
+    @settings(max_examples=80, deadline=None)
+    def test_partition_in_range(self, word, partitions):
+        assert 0 <= _partition(word, partitions) < partitions
+
+    @given(st.text(min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_partition_deterministic(self, word):
+        assert _partition(word, 7) == _partition(word, 7)
+
+    def test_zero_partitions_clamped(self):
+        assert _partition("x", 0) == 0
+
+
+class TestMapTask:
+    def test_spills_cover_every_word(self, cluster):
+        conf, mini = cluster
+        task = mini.launch_map_task(0)
+        task.run_map(["alpha beta", "beta gamma"])
+        spilled = [pair for bucket in task._spills.values()
+                   for pair in bucket]
+        words = sorted(word for word, _ in spilled)
+        assert words == ["alpha", "beta", "beta", "gamma"]
+
+    def test_serve_unknown_partition_rejected(self, cluster):
+        conf, mini = cluster
+        task = mini.launch_map_task(0)
+        task.run_map(["a b"])
+        with pytest.raises(ShuffleError):
+            task.serve_shuffle(conf.get_int("mapreduce.job.reduces"))
+
+    def test_stopped_task_refuses_to_serve(self, cluster):
+        conf, mini = cluster
+        task = mini.launch_map_task(0)
+        task.run_map(["a"])
+        task.stop()
+        with pytest.raises(Exception):
+            task.serve_shuffle(0)
+
+
+class TestJobRunner:
+    def test_archive_rejects_missing_parts(self, cluster):
+        conf, mini = cluster
+        runner = JobRunner(conf, mini)
+        output = runner.run_wordcount("job_u1", ["a b c"])
+        parts = [p for p in output if p.startswith("part-r-")]
+        output.pop(parts[0])
+        with pytest.raises(CommitError, match="part files"):
+            runner.archive_output(output)
+
+    def test_archive_rejects_temporary_leftovers(self, cluster):
+        conf, mini = cluster
+        runner = JobRunner(conf, mini)
+        output = runner.run_wordcount("job_u2", ["a b c"])
+        output["_temporary/attempt_r_99999/part-r-99999"] = b"stray"
+        with pytest.raises(CommitError, match="_temporary"):
+            runner.archive_output(output)
+
+    def test_read_output_ignores_non_part_files(self, cluster):
+        conf, mini = cluster
+        runner = JobRunner(conf, mini)
+        output = runner.run_wordcount("job_u3", ["x y x"])
+        output["_SUCCESS"] = b""
+        merged = runner.read_output(output)
+        assert merged == {"x": 2, "y": 1}
+
+    def test_v1_commit_moves_every_task_file(self, cluster):
+        conf, mini = cluster
+        conf.set("mapreduce.fileoutputcommitter.algorithm.version", 1)
+        runner = JobRunner(conf, mini)
+        output = runner.run_wordcount("job_u4", ["a b", "b c"])
+        assert not any(p.startswith("_temporary/") for p in output)
+        assert len([p for p in output if p.startswith("part-r-")]) == \
+            conf.get_int("mapreduce.job.reduces")
+
+
+class TestHistoryServer:
+    def test_unregistered_method_rejected(self, cluster):
+        conf, mini = cluster
+        runner = JobRunner(conf, mini)
+        from repro.common.errors import RpcError
+        with pytest.raises(RpcError):
+            runner.rpc.call(mini.history_server.rpc, "drop_all_jobs")

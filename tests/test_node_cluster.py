@@ -1,0 +1,121 @@
+"""Unit tests for the Node/MiniCluster base classes and node registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.cluster import MiniCluster
+from repro.common.errors import NodeStateError
+from repro.common.node import NODE_TYPES, Node, node_init, register_node_type
+from repro.common.simulation import PeriodicTask
+
+
+class Widget(Node):
+    node_type = "Widget"
+
+    def __init__(self, conf, cluster):
+        with node_init(self):
+            super().__init__(conf, cluster)
+
+
+class FakeConf:
+    """Duck-typed conf; ref_to_clone is a no-op outside agent sessions."""
+
+
+class TestNodeLifecycle:
+    def make(self):
+        cluster = MiniCluster()
+        return cluster, cluster.add_node(Widget(FakeConf(), cluster))
+
+    def test_start_stop(self):
+        _, node = self.make()
+        assert not node.running
+        node.start()
+        assert node.running
+        node.stop()
+        assert not node.running
+
+    def test_double_start_rejected(self):
+        _, node = self.make()
+        node.start()
+        with pytest.raises(NodeStateError):
+            node.start()
+
+    def test_stop_idempotent(self):
+        _, node = self.make()
+        node.start()
+        node.stop()
+        node.stop()
+
+    def test_ensure_running(self):
+        _, node = self.make()
+        with pytest.raises(NodeStateError):
+            node.ensure_running()
+        node.start()
+        node.ensure_running()
+
+    def test_stop_cancels_periodic_tasks(self):
+        cluster, node = self.make()
+        node.start()
+        ticks = []
+        node.add_periodic(PeriodicTask(cluster.sim, lambda: 1.0,
+                                       lambda: ticks.append(cluster.sim.now)))
+        cluster.run_for(2.5)
+        node.stop()
+        cluster.run_for(10.0)
+        assert ticks == [1.0, 2.0]
+
+
+class TestMiniCluster:
+    def test_roster_queries(self):
+        cluster = MiniCluster()
+        first = cluster.add_node(Widget(FakeConf(), cluster))
+        second = cluster.add_node(Widget(FakeConf(), cluster))
+        first.start()
+        assert cluster.nodes_of(Widget) == [first, second]
+        assert cluster.running_nodes() == [first]
+
+    def test_shutdown_stops_everything(self):
+        cluster = MiniCluster()
+        node = cluster.add_node(Widget(FakeConf(), cluster))
+        node.start()
+        cluster.shutdown()
+        assert not node.running
+        cluster.shutdown()  # idempotent
+
+    def test_context_manager(self):
+        with MiniCluster() as cluster:
+            node = cluster.add_node(Widget(FakeConf(), cluster))
+            node.start()
+        assert not node.running
+
+    def test_run_for_surfaces_background_crashes(self):
+        cluster = MiniCluster()
+
+        def crash():
+            yield 1.0
+            raise RuntimeError("daemon died")
+
+        cluster.sim.spawn(crash())
+        with pytest.raises(RuntimeError):
+            cluster.run_for(5.0)
+
+    def test_ensure_ipc_is_singleton(self):
+        from repro.apps.hdfs.conf import HdfsConfiguration
+        cluster = MiniCluster()
+        first = cluster.ensure_ipc(HdfsConfiguration)
+        second = cluster.ensure_ipc(HdfsConfiguration)
+        assert first is second
+
+
+class TestNodeTypeRegistry:
+    def test_registration_deduplicates(self):
+        register_node_type("testapp-registry", "Alpha")
+        register_node_type("testapp-registry", "Alpha")
+        register_node_type("testapp-registry", "Beta")
+        assert NODE_TYPES["testapp-registry"] == ["Alpha", "Beta"]
+
+    def test_paper_apps_registered_on_import(self, corpus):
+        assert "NameNode" in NODE_TYPES["hdfs"]
+        assert "TaskManager" in NODE_TYPES["flink"]
+        assert "ThriftServer" in NODE_TYPES["hbase"]

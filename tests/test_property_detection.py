@@ -1,0 +1,126 @@
+"""Property-based tests of the detection pipeline itself.
+
+The central soundness/completeness property: for a randomly generated
+application with a randomly chosen set of heterogeneous-unsafe
+parameters, pooled testing with bisection must report **exactly** that
+set — no misses, no extras — and must never be more expensive than
+testing every parameter individually.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.configuration import Configuration, ref_to_clone
+from repro.common.errors import TestFailure
+from repro.common.params import INT, ParamRegistry
+from repro.core.confagent import current_agent
+from repro.core.pooling import PooledTester
+from repro.core.registry import UnitTest
+from repro.core.runner import CONFIRMED_UNSAFE, TestRunner
+from repro.core.testgen import ROUND_ROBIN, TestGenerator
+
+
+def build_app(num_params: int, unsafe_indexes: frozenset):
+    """A synthetic app: two peers compare exactly the 'unsafe' params."""
+    registry = ParamRegistry("prop-app")
+    names = []
+    for index in range(num_params):
+        name = "prop.p%02d" % index
+        registry.define(name, INT, 10 + index,
+                        candidates=(10 + index, 9000 + index))
+        names.append(name)
+    unsafe = {names[i] for i in unsafe_indexes if i < num_params}
+
+    class PropConfiguration(Configuration):
+        pass
+
+    PropConfiguration.registry = registry
+
+    class Service:
+        node_type = "Service"
+
+        def __init__(self, conf):
+            agent = current_agent()
+            agent.start_init(self, self.node_type)
+            try:
+                self.conf = ref_to_clone(conf)
+                for name in names:  # every param is read -> all testable
+                    self.conf.get_int(name)
+            finally:
+                agent.stop_init()
+
+        def exchange(self, peer):
+            for name in unsafe:
+                if self.conf.get_int(name) != peer.conf.get_int(name):
+                    raise TestFailure("%s mismatch" % name)
+
+    def body(ctx):
+        conf = PropConfiguration()
+        first, second = Service(conf), Service(conf)
+        first.exchange(second)
+
+    test = UnitTest(app="prop-app", name="TestProp.testExchange", fn=body)
+    return registry, test, unsafe, names
+
+
+def run_detection(registry, test, names, max_pool_size=None):
+    generator = TestGenerator(registry)
+    runner = TestRunner()
+    tester = PooledTester(runner, max_pool_size=max_pool_size)
+    units = [generator.assignment(registry.get(name), "Service",
+                                  ROUND_ROBIN,
+                                  generator.value_pairs(registry.get(name))[0])
+             for name in names]
+    results = tester.run(test, "Service", ROUND_ROBIN, units)
+    confirmed = {r.instance.params[0] for r in results
+                 if r.verdict == CONFIRMED_UNSAFE}
+    return confirmed, runner.executions
+
+
+@given(num_params=st.integers(min_value=1, max_value=8),
+       unsafe_indexes=st.frozensets(st.integers(min_value=0, max_value=7),
+                                    max_size=4))
+@settings(max_examples=30, deadline=None)
+def test_pooled_detection_is_exact(num_params, unsafe_indexes):
+    registry, test, unsafe, names = build_app(num_params, unsafe_indexes)
+    confirmed, _ = run_detection(registry, test, names)
+    assert confirmed == unsafe
+
+
+@given(num_params=st.integers(min_value=2, max_value=8),
+       unsafe_indexes=st.frozensets(st.integers(min_value=0, max_value=7),
+                                    max_size=2))
+@settings(max_examples=20, deadline=None)
+def test_pooling_agrees_with_individual_testing(num_params, unsafe_indexes):
+    registry, test, unsafe, names = build_app(num_params, unsafe_indexes)
+    pooled, pooled_cost = run_detection(registry, test, names)
+    individual, individual_cost = run_detection(registry, test, names,
+                                                max_pool_size=1)
+    assert pooled == individual == unsafe
+    # Pooling's overhead over individual testing is bounded by the
+    # bisection tree: at most ~2*|unsafe|*log2(n)+1 extra runs.  When
+    # everything is safe it is strictly cheaper (see the next property).
+    bisection_bound = 2 * max(len(unsafe), 1) * max(num_params.bit_length(),
+                                                    1) + 1
+    assert pooled_cost <= individual_cost + bisection_bound
+    if not unsafe:
+        assert pooled_cost < individual_cost
+
+
+@given(num_params=st.integers(min_value=2, max_value=6))
+@settings(max_examples=10, deadline=None)
+def test_all_safe_pool_costs_one_hetero_run(num_params):
+    registry, test, unsafe, names = build_app(num_params, frozenset())
+    generator = TestGenerator(registry)
+    runner = TestRunner()
+    tester = PooledTester(runner)
+    units = [generator.assignment(registry.get(name), "Service",
+                                  ROUND_ROBIN,
+                                  generator.value_pairs(registry.get(name))[0])
+             for name in names]
+    tester.run(test, "Service", ROUND_ROBIN, units)
+    assert tester.stats.pool_runs == 1
+    assert tester.stats.bisection_runs == 0
+    assert runner.executions == 1

@@ -1,0 +1,152 @@
+"""Tests for the §7.3 remediations: the paper's proposed fixes make the
+corresponding parameters heterogeneous-safe."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.hdfs import Balancer, HdfsConfiguration, MiniDFSCluster
+from repro.common.errors import BalancerTimeout
+from repro.core.confagent import ConfAgent
+from repro.core.testgen import HeteroAssignment, ParamAssignment
+
+
+def dn_assignment(param, dn_values, other):
+    return ConfAgent(assignment=HeteroAssignment((ParamAssignment(
+        param=param, group="DataNode", group_values=tuple(dn_values),
+        other_value=other),)))
+
+
+def balancer_assignment(param, balancer_value, other):
+    return ConfAgent(assignment=HeteroAssignment((ParamAssignment(
+        param=param, group="Balancer", group_values=(balancer_value,),
+        other_value=other),)))
+
+
+class TestConcurrentMovesRemediation:
+    def run(self, fetch_limits):
+        with dn_assignment("dfs.datanode.balance.max.concurrent.moves",
+                           (1, 1), 50):
+            conf = HdfsConfiguration()
+            cluster = MiniDFSCluster(conf, num_datanodes=2)
+            cluster.start()
+            try:
+                moves = [{"block_id": cluster.place_block("/b/%d" % i,
+                                                          ["dn0"]),
+                          "source": "dn0", "target": "dn1"}
+                         for i in range(100)]
+                balancer = Balancer(conf, cluster)
+                result = balancer.run_balancing(
+                    moves, timeout_s=100.0,
+                    fetch_datanode_limits=fetch_limits)
+                return result, cluster.datanodes[0].declined_moves
+            finally:
+                cluster.shutdown()
+
+    def test_without_fix_times_out(self):
+        with pytest.raises(BalancerTimeout):
+            self.run(fetch_limits=False)
+
+    def test_with_fix_completes_without_declines(self):
+        result, declines = self.run(fetch_limits=True)
+        assert result["moves"] == 100
+        assert declines == 0
+
+
+class TestBandwidthRemediation:
+    def run(self, reserve):
+        with dn_assignment("dfs.datanode.balance.bandwidthPerSec",
+                           (1000 * 1024 * 1024, 100 * 1024), 100 * 1024):
+            conf = HdfsConfiguration()
+            cluster = MiniDFSCluster(conf, num_datanodes=2)
+            cluster.start()
+            try:
+                balancer = Balancer(conf, cluster)
+                return balancer.run_throttled_transfer(
+                    "dn0", "dn1", block_bytes=50 * 1024 * 1024,
+                    progress_timeout_s=3.0,
+                    critical_reserve_fraction=reserve)
+            finally:
+                cluster.shutdown()
+
+    def test_without_reserve_times_out(self):
+        with pytest.raises(BalancerTimeout):
+            self.run(reserve=0.0)
+
+    def test_with_reserved_critical_bandwidth_progresses(self):
+        result = self.run(reserve=0.05)
+        assert result["chunks"] == 800
+
+
+class TestEmbeddedWireMetadataRemediation:
+    """§7.3: "Embedding parameter values in the communication or in the
+    file ... may be a good practice" — with writer checksum parameters
+    travelling alongside the data, heterogeneous checksum settings stop
+    mattering."""
+
+    def write_read(self, param, dn_value, other_value, embed):
+        with dn_assignment(param, (dn_value, dn_value), other_value):
+            from repro.apps.hdfs import DFSClient
+            conf = HdfsConfiguration()
+            cluster = MiniDFSCluster(conf, num_datanodes=2,
+                                     embed_wire_metadata=embed)
+            cluster.start()
+            try:
+                client = DFSClient(conf, cluster)
+                payload = b"embedded-metadata" * 32
+                client.write_file("/emb/file", payload, replication=2)
+                assert client.read_file("/emb/file") == payload
+            finally:
+                cluster.shutdown()
+
+    def test_checksum_type_mismatch_fails_stock(self):
+        from repro.common.errors import ChecksumError
+        with pytest.raises(ChecksumError):
+            self.write_read("dfs.checksum.type", "CRC32C", "CRC32",
+                            embed=False)
+
+    def test_checksum_type_mismatch_safe_with_embedding(self):
+        self.write_read("dfs.checksum.type", "CRC32C", "CRC32", embed=True)
+
+    def test_bytes_per_checksum_mismatch_fails_stock(self):
+        from repro.common.errors import ChecksumError
+        with pytest.raises(ChecksumError):
+            self.write_read("dfs.bytes-per-checksum", 16, 512, embed=False)
+
+    def test_bytes_per_checksum_mismatch_safe_with_embedding(self):
+        self.write_read("dfs.bytes-per-checksum", 16, 512, embed=True)
+
+    def test_homogeneous_still_fine_with_embedding(self):
+        self.write_read("dfs.checksum.type", "CRC32", "CRC32", embed=True)
+
+
+class TestUpgradeDomainRemediation:
+    def run(self, use_namenode_factor):
+        with balancer_assignment("dfs.namenode.upgrade.domain.factor", 1, 3):
+            conf = HdfsConfiguration()
+            cluster = MiniDFSCluster(
+                conf, num_datanodes=5,
+                upgrade_domains=["ud0", "ud1", "ud2", "ud0", "ud3"])
+            cluster.start()
+            try:
+                block_id = cluster.place_block("/ud/b", ["dn0", "dn1", "dn2"])
+                balancer = Balancer(conf, cluster)
+                domains = balancer.rpc_client.call(cluster.namenode.rpc,
+                                                   "get_upgrade_domains")
+                target = balancer.pick_target(
+                    ["dn0", "dn1", "dn2"], source_dn="dn2",
+                    candidates=["dn3", "dn4"], domains=domains,
+                    use_namenode_factor=use_namenode_factor)
+                return balancer.run_balancing(
+                    [{"block_id": block_id, "source": "dn2",
+                      "target": target}], timeout_s=30.0)
+            finally:
+                cluster.shutdown()
+
+    def test_without_fix_never_finishes(self):
+        with pytest.raises(BalancerTimeout):
+            self.run(use_namenode_factor=False)
+
+    def test_fetching_factor_from_namenode_completes(self):
+        result = self.run(use_namenode_factor=True)
+        assert result["moves"] == 1

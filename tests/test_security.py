@@ -1,0 +1,124 @@
+"""Unit tests for tokens, encryption keys, and delegation tokens."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import (AccessTokenError, HandshakeError,
+                                 TokenExpiredError)
+from repro.common.security import (BlockToken, BlockTokenSecretManager,
+                                   BlockTokenVerifier, DataEncryptionKey,
+                                   DataEncryptionKeyManager,
+                                   DataEncryptionKeyStore,
+                                   DelegationTokenManager)
+
+
+class TestBlockTokens:
+    def test_disabled_manager_mints_nothing(self):
+        manager = BlockTokenSecretManager(enabled=False)
+        assert manager.current_keys() is None
+        assert manager.mint(1) is None
+
+    def test_enabled_manager_mints_under_current_key(self):
+        manager = BlockTokenSecretManager(enabled=True)
+        token = manager.mint(7)
+        assert token.block_id == 7
+        assert token.key_id in manager.current_keys()
+
+    def test_key_roll_changes_key_window(self):
+        manager = BlockTokenSecretManager(enabled=True)
+        before = manager.current_keys()
+        manager.roll_key()
+        assert manager.current_keys() != before
+
+    def test_enabled_verifier_requires_keys(self):
+        verifier = BlockTokenVerifier(enabled=True)
+        with pytest.raises(AccessTokenError):
+            verifier.install_keys(None)  # NameNode has tokens disabled
+
+    def test_disabled_verifier_accepts_missing_keys(self):
+        verifier = BlockTokenVerifier(enabled=False)
+        verifier.install_keys(None)
+        verifier.verify(None, block_id=1)  # no enforcement
+
+    def test_verify_accepts_valid_token(self):
+        manager = BlockTokenSecretManager(enabled=True)
+        verifier = BlockTokenVerifier(enabled=True)
+        verifier.install_keys(manager.current_keys())
+        verifier.verify(manager.mint(5), block_id=5)
+
+    def test_verify_rejects_missing_token(self):
+        verifier = BlockTokenVerifier(enabled=True)
+        verifier.install_keys([0, 1])
+        with pytest.raises(AccessTokenError):
+            verifier.verify(None, block_id=5)
+
+    def test_verify_rejects_wrong_block(self):
+        verifier = BlockTokenVerifier(enabled=True)
+        verifier.install_keys([0, 1])
+        with pytest.raises(AccessTokenError):
+            verifier.verify(BlockToken(block_id=4, key_id=0), block_id=5)
+
+    def test_verify_rejects_unknown_key(self):
+        verifier = BlockTokenVerifier(enabled=True)
+        verifier.install_keys([0, 1])
+        with pytest.raises(AccessTokenError):
+            verifier.verify(BlockToken(block_id=5, key_id=42), block_id=5)
+
+
+class TestEncryptionKeys:
+    def test_disabled_manager_issues_no_key(self):
+        assert DataEncryptionKeyManager(enabled=False).current_key() is None
+
+    def test_roll_produces_fresh_material(self):
+        manager = DataEncryptionKeyManager(enabled=True)
+        first = manager.current_key()
+        manager.roll()
+        second = manager.current_key()
+        assert second.key_id != first.key_id
+        assert second.material != first.material
+
+    def test_store_lookup_after_install(self):
+        store = DataEncryptionKeyStore(enabled=True)
+        store.install(DataEncryptionKey(100, b"material"))
+        assert store.lookup(100) == b"material"
+        assert store.current.key_id == 100
+        assert store.has_keys()
+
+    def test_missing_key_is_the_paper_failure(self):
+        store = DataEncryptionKeyStore(enabled=True)
+        with pytest.raises(HandshakeError, match="missing"):
+            store.lookup(100)
+
+    def test_install_none_is_noop(self):
+        store = DataEncryptionKeyStore(enabled=True)
+        store.install(None)
+        assert not store.has_keys()
+
+
+class TestDelegationTokens:
+    def test_expiry_is_issue_plus_interval(self):
+        manager = DelegationTokenManager(renew_interval_fn=lambda: 100.0)
+        token = manager.issue(now=5.0)
+        assert token.expiry_time == 105.0
+
+    def test_interval_reread_per_issue(self):
+        interval = {"value": 100.0}
+        manager = DelegationTokenManager(
+            renew_interval_fn=lambda: interval["value"])
+        first = manager.issue(now=0.0)
+        interval["value"] = 10.0
+        second = manager.issue(now=1.0)
+        # the paper's anomaly: the newer token expires earlier
+        assert second.expiry_time < first.expiry_time
+
+    def test_token_ids_increment(self):
+        manager = DelegationTokenManager(renew_interval_fn=lambda: 1.0)
+        assert manager.issue(0.0).token_id < manager.issue(0.0).token_id
+
+    def test_check_valid(self):
+        manager = DelegationTokenManager(renew_interval_fn=lambda: 10.0)
+        token = manager.issue(now=0.0)
+        token.check_valid(now=5.0)
+        with pytest.raises(TokenExpiredError):
+            token.check_valid(now=11.0)

@@ -1,0 +1,98 @@
+"""Unit tests for the hypothesis-testing machinery (§5)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stats import (DEFAULT_ALPHA, MIN_DECISIVE_TRIALS, TrialTally,
+                              decisive_trials, hypergeom_tail)
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+
+class TestHypergeomTail:
+    def test_empty_table_is_one(self):
+        assert hypergeom_tail(0, 0, 0, 0) == 1.0
+
+    def test_no_failures_anywhere_is_one(self):
+        assert hypergeom_tail(0, 10, 0, 10) == 1.0
+
+    def test_perfect_separation_eight_each(self):
+        # 8/8 hetero failures vs 0/8 homo failures: 1/C(16,8)
+        p = hypergeom_tail(8, 8, 0, 8)
+        assert p == pytest.approx(1 / 12870)
+        assert p <= DEFAULT_ALPHA
+
+    def test_seven_each_not_significant(self):
+        assert hypergeom_tail(7, 7, 0, 7) > DEFAULT_ALPHA
+
+    def test_inconsistent_table_rejected(self):
+        with pytest.raises(ValueError):
+            hypergeom_tail(5, 3, 0, 3)
+
+    @given(st.integers(0, 12), st.integers(0, 12), st.integers(0, 12),
+           st.integers(0, 12))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_scipy_fisher_exact(self, k, extra_n, j, extra_m):
+        n, m = k + extra_n, j + extra_m
+        if n == 0 and m == 0:
+            return
+        ours = hypergeom_tail(k, n, j, m)
+        _, theirs = scipy_stats.fisher_exact([[k, n - k], [j, m - j]],
+                                             alternative="greater")
+        assert ours == pytest.approx(theirs, rel=1e-9, abs=1e-12)
+
+    @given(st.integers(1, 20), st.integers(1, 20))
+    @settings(max_examples=50, deadline=None)
+    def test_p_value_in_unit_interval(self, n, m):
+        for k in range(n + 1):
+            p = hypergeom_tail(k, n, 0, m)
+            assert 0.0 <= p <= 1.0
+
+
+class TestTrialTally:
+    def test_records_accumulate(self):
+        tally = TrialTally()
+        tally.record_hetero(True)
+        tally.record_hetero(False)
+        tally.record_homo(False)
+        assert (tally.hetero_failures, tally.hetero_trials) == (1, 2)
+        assert (tally.homo_failures, tally.homo_trials) == (0, 1)
+
+    def test_significance_reached_with_decisive_streak(self):
+        tally = TrialTally()
+        for _ in range(MIN_DECISIVE_TRIALS):
+            tally.record_hetero(True)
+            tally.record_homo(False)
+        assert tally.significant()
+
+    def test_flaky_pattern_never_significant(self):
+        tally = TrialTally()
+        for index in range(20):
+            tally.record_hetero(index % 3 == 0)
+            tally.record_homo(index % 3 == 0)
+        assert not tally.significant()
+
+    def test_hopeless_when_homo_fails_as_much(self):
+        tally = TrialTally()
+        for _ in range(10):
+            tally.record_hetero(True)
+            tally.record_homo(True)
+        assert tally.hopeless(max_trials=12)
+
+    def test_not_hopeless_early(self):
+        tally = TrialTally()
+        tally.record_hetero(True)
+        tally.record_homo(False)
+        assert not tally.hopeless(max_trials=40)
+
+
+class TestDecisiveTrials:
+    def test_matches_constant(self):
+        assert decisive_trials(DEFAULT_ALPHA) == MIN_DECISIVE_TRIALS == 8
+
+    def test_looser_alpha_needs_fewer(self):
+        assert decisive_trials(0.05) < decisive_trials(1e-4)
+        assert decisive_trials(1e-8) > decisive_trials(1e-4)

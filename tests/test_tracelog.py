@@ -1,0 +1,87 @@
+"""Tests for the structured campaign trace log."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.orchestrator import Campaign, CampaignConfig
+from repro.core.tracelog import TraceLog
+from synthetic_app import (SYNTH_REGISTRY, no_node_test, two_service_test)
+
+
+@pytest.fixture()
+def traced_report():
+    trace = TraceLog()
+    campaign = Campaign("synth", SYNTH_REGISTRY,
+                        tests=[two_service_test(), no_node_test()],
+                        config=CampaignConfig(trace=trace))
+    report = campaign.run()
+    return trace, report
+
+
+class TestTraceLogBasics:
+    def test_emit_and_filter(self):
+        log = TraceLog()
+        log.emit("a", x=1)
+        log.emit("b", x=2)
+        log.emit("a", x=3)
+        assert len(log) == 3
+        assert [e.data["x"] for e in log.of_kind("a")] == [1, 3]
+
+    def test_events_are_ordered_in_time(self):
+        log = TraceLog()
+        first = log.emit("a")
+        second = log.emit("b")
+        assert first.at <= second.at
+
+    def test_jsonl_round_trip(self, tmp_path):
+        log = TraceLog()
+        log.emit("instance", params=["p"], verdict="pass")
+        log.emit("campaign", reported=[])
+        path = tmp_path / "trace.jsonl"
+        assert log.write_jsonl(str(path)) == 2
+        loaded = TraceLog.read_jsonl(str(path))
+        assert len(loaded) == 2
+        assert loaded.of_kind("instance")[0].data["params"] == ["p"]
+
+
+class TestCampaignTracing:
+    def test_prerun_events_cover_every_test(self, traced_report):
+        trace, _ = traced_report
+        preruns = trace.of_kind("prerun")
+        assert {e.data["test"] for e in preruns} == {
+            "synth::TestSynth.testExchange",
+            "synth::TestSynth.testPureFunction"}
+        by_test = {e.data["test"]: e for e in preruns}
+        assert by_test["synth::TestSynth.testPureFunction"].data["usable"] \
+            is False
+
+    def test_instance_events_record_trials(self, traced_report):
+        trace, _ = traced_report
+        confirmed = [e for e in trace.of_kind("instance")
+                     if e.data["verdict"] == "confirmed-unsafe"]
+        assert confirmed
+        for event in confirmed:
+            trials = event.data["trials"]
+            assert trials["p_value"] <= 1e-4
+            assert trials["hetero"][0] == trials["hetero"][1]  # all failed
+
+    def test_instances_for_param_filter(self, traced_report):
+        trace, _ = traced_report
+        events = trace.instances_for_param("synth.mode")
+        assert events
+        assert all("synth.mode" in e.data["params"] for e in events)
+
+    def test_campaign_summary_matches_report(self, traced_report):
+        trace, report = traced_report
+        summary = trace.of_kind("campaign")[-1]
+        assert summary.data["true_problems"] == sorted(
+            v.param for v in report.true_problems)
+        assert summary.data["executions"] == report.executions
+
+    def test_no_trace_means_no_overhead(self):
+        campaign = Campaign("synth", SYNTH_REGISTRY,
+                            tests=[two_service_test()],
+                            config=CampaignConfig())
+        report = campaign.run()
+        assert report.executions > 0  # simply must not crash without trace

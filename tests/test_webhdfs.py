@@ -1,0 +1,79 @@
+"""Unit tests for the WebHDFS REST surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.hdfs import DFSClient, HdfsConfiguration, MiniDFSCluster
+from repro.apps.hdfs.webhdfs import WebHdfsClient
+from repro.common.errors import ConnectError
+from repro.core.confagent import ConfAgent
+from repro.core.testgen import HeteroAssignment, ParamAssignment
+
+
+@pytest.fixture()
+def cluster():
+    conf = HdfsConfiguration()
+    mini = MiniDFSCluster(conf, num_datanodes=1)
+    mini.start()
+    yield conf, mini
+    mini.shutdown()
+
+
+class TestOperations:
+    def test_mkdirs_and_list(self, cluster):
+        conf, mini = cluster
+        web = WebHdfsClient(conf, mini.namenode)
+        assert web.mkdirs("/api/a")
+        assert web.mkdirs("/api/b")
+        assert web.list_status("/api") == ["a", "b"]
+
+    def test_exists(self, cluster):
+        conf, mini = cluster
+        web = WebHdfsClient(conf, mini.namenode)
+        web.mkdirs("/api/present")
+        assert web.exists("/api/present")
+        assert not web.exists("/api/absent")
+
+    def test_sees_files_created_through_rpc(self, cluster):
+        conf, mini = cluster
+        DFSClient(conf, mini).write_file("/mixed/file", b"z" * 16,
+                                         replication=1)
+        web = WebHdfsClient(conf, mini.namenode)
+        assert web.list_status("/mixed") == ["file"]
+
+    def test_namenode_side_limits_apply(self, cluster):
+        conf, mini = cluster
+        from repro.common.errors import LimitExceededError
+        web = WebHdfsClient(conf, mini.namenode)
+        mini.namenode.conf.set("dfs.namenode.fs-limits.max-component-length",
+                               4)
+        with pytest.raises(LimitExceededError):
+            web.mkdirs("/toolongname")
+
+
+class TestPolicyMismatch:
+    def test_https_only_namenode_refuses_http_client(self):
+        assignment = HeteroAssignment((ParamAssignment(
+            param="dfs.http.policy", group="NameNode",
+            group_values=("HTTPS_ONLY",), other_value="HTTP_ONLY"),))
+        with ConfAgent(assignment=assignment):
+            conf = HdfsConfiguration()
+            mini = MiniDFSCluster(conf, num_datanodes=1)
+            mini.start()
+            web = WebHdfsClient(conf, mini.namenode)
+            with pytest.raises(ConnectError):
+                web.mkdirs("/never")
+            mini.shutdown()
+
+    def test_homogeneous_https_works(self):
+        assignment = HeteroAssignment((ParamAssignment(
+            param="dfs.http.policy", group="NameNode",
+            group_values=("HTTPS_ONLY",), other_value="HTTPS_ONLY"),))
+        with ConfAgent(assignment=assignment):
+            conf = HdfsConfiguration()
+            mini = MiniDFSCluster(conf, num_datanodes=1)
+            mini.start()
+            web = WebHdfsClient(conf, mini.namenode)
+            assert web.mkdirs("/secure")
+            mini.shutdown()

@@ -1,0 +1,222 @@
+"""Integration tests for the mini-YARN, mini-Flink, and mini-HBase
+substrates under heterogeneous assignments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.flink import FlinkConfiguration, MiniFlinkCluster
+from repro.apps.hbase import HBaseConfiguration, MiniHBaseCluster, ThriftAdmin
+from repro.apps.yarn import MiniYARNCluster, YarnClient, YarnConfiguration
+from repro.common import errors
+from repro.core.confagent import UNIT_TEST, ConfAgent
+from repro.core.testgen import HeteroAssignment, ParamAssignment
+
+
+def agent(param, group, group_value, other_value):
+    return ConfAgent(assignment=HeteroAssignment((ParamAssignment(
+        param=param, group=group,
+        group_values=group_value if isinstance(group_value, tuple)
+        else (group_value,),
+        other_value=other_value),)))
+
+
+class TestYarnScheduler:
+    def test_request_at_client_max_rejected_by_smaller_rm(self):
+        with agent("yarn.scheduler.maximum-allocation-mb", "ResourceManager",
+                   1024, 8192):
+            conf = YarnConfiguration()
+            cluster = MiniYARNCluster(conf, num_nodemanagers=1)
+            cluster.start()
+            client = YarnClient(conf, cluster)
+            client.submit_application("app1")
+            with pytest.raises(errors.AllocationError):
+                client.request_container("app1", memory_mb=conf.get_int(
+                    "yarn.scheduler.maximum-allocation-mb"), vcores=1)
+            cluster.shutdown()
+
+    def test_vcores_limit_enforced(self):
+        with agent("yarn.scheduler.maximum-allocation-vcores",
+                   "ResourceManager", 1, 4):
+            conf = YarnConfiguration()
+            cluster = MiniYARNCluster(conf, num_nodemanagers=1)
+            cluster.start()
+            client = YarnClient(conf, cluster)
+            client.submit_application("app1")
+            with pytest.raises(errors.AllocationError):
+                client.request_container("app1", memory_mb=512, vcores=4)
+            cluster.shutdown()
+
+    def test_bigger_rm_max_is_harmless(self):
+        with agent("yarn.scheduler.maximum-allocation-mb", "ResourceManager",
+                   81920, 8192):
+            conf = YarnConfiguration()
+            cluster = MiniYARNCluster(conf, num_nodemanagers=1)
+            cluster.start()
+            client = YarnClient(conf, cluster)
+            client.submit_application("app1")
+            granted = client.request_container("app1", memory_mb=8192,
+                                               vcores=1)
+            assert granted["memory_mb"] == 8192
+            cluster.shutdown()
+
+
+class TestYarnTokensAndTimeline:
+    def test_token_ordering_violated_across_rms(self):
+        with agent("yarn.resourcemanager.delegation.token.renew-interval",
+                   "ResourceManager", (86400000, 864000), 86400000):
+            conf = YarnConfiguration()
+            cluster = MiniYARNCluster(conf, num_nodemanagers=1,
+                                      num_resourcemanagers=2)
+            cluster.start()
+            client = YarnClient(conf, cluster)
+            first = client.get_delegation_token(rm=cluster.resourcemanagers[0])
+            cluster.run_for(10.0)
+            second = client.get_delegation_token(rm=cluster.resourcemanagers[1])
+            assert second["expiry_time"] < first["expiry_time"]
+            cluster.shutdown()
+
+    def test_timeline_client_on_server_off(self):
+        with agent("yarn.timeline-service.enabled", UNIT_TEST, True, False):
+            conf = YarnConfiguration()
+            cluster = MiniYARNCluster(conf, num_nodemanagers=1, with_ahs=True)
+            cluster.start()
+            client = YarnClient(conf, cluster)
+            with pytest.raises(errors.ConnectError):
+                client.publish_timeline_entity({"entity": "e1"})
+            cluster.shutdown()
+
+    def test_timeline_homogeneous_on(self):
+        with agent("yarn.timeline-service.enabled", UNIT_TEST, True, True):
+            conf = YarnConfiguration()
+            cluster = MiniYARNCluster(conf, num_nodemanagers=1, with_ahs=True)
+            cluster.start()
+            client = YarnClient(conf, cluster)
+            assert client.publish_timeline_entity({"entity": "e1"})
+            assert client.query_timeline_web() == [{"entity": "e1"}]
+            cluster.shutdown()
+
+    def test_http_policy_mismatch_refused(self):
+        with agent("yarn.http.policy", "ApplicationHistoryServer",
+                   "HTTPS_ONLY", "HTTP_ONLY"):
+            conf = YarnConfiguration()
+            cluster = MiniYARNCluster(conf, num_nodemanagers=1, with_ahs=True)
+            cluster.start()
+            client = YarnClient(conf, cluster)
+            with pytest.raises(errors.ConnectError):
+                client.query_timeline_web()
+            cluster.shutdown()
+
+
+class TestFlink:
+    def test_akka_ssl_mismatch_breaks_registration(self):
+        with agent("akka.ssl.enabled", "JobManager", True, False):
+            conf = FlinkConfiguration()
+            cluster = MiniFlinkCluster(conf, num_taskmanagers=1)
+            with pytest.raises(errors.SslError):
+                cluster.start()
+            cluster.shutdown()
+
+    def test_data_ssl_mismatch_breaks_partition_transfer(self):
+        with agent("taskmanager.data.ssl.enabled", "TaskManager",
+                   (True, False), False):
+            conf = FlinkConfiguration()
+            cluster = MiniFlinkCluster(conf, num_taskmanagers=2)
+            cluster.start()
+            sender, receiver = cluster.taskmanagers
+            with pytest.raises(errors.SslError):
+                sender.send_partition(receiver, [1, 2, 3])
+            cluster.shutdown()
+
+    def test_jobmanager_overestimates_slots(self):
+        with agent("taskmanager.numberOfTaskSlots", "JobManager", 8, 2):
+            conf = FlinkConfiguration()
+            cluster = MiniFlinkCluster(conf, num_taskmanagers=2)
+            cluster.start()
+            with pytest.raises(errors.SlotAllocationError):
+                cluster.jobmanager.allocate_slots(parallelism=4)
+            cluster.shutdown()
+
+    def test_jobmanager_underestimates_slots(self):
+        with agent("taskmanager.numberOfTaskSlots", "JobManager", 2, 8):
+            conf = FlinkConfiguration()
+            cluster = MiniFlinkCluster(conf, num_taskmanagers=2)
+            cluster.start()
+            with pytest.raises(errors.SlotAllocationError):
+                # the user sizes the job to 8x2 slots, the JM sees 2x2
+                cluster.jobmanager.allocate_slots(parallelism=16)
+            cluster.shutdown()
+
+    def test_inline_init_maps_conf_to_taskmanager(self):
+        """Flink's copied-init quirk: the annotation in the test utility
+        must still map the TaskManager's conf correctly."""
+        session = ConfAgent()
+        with session:
+            conf = FlinkConfiguration()
+            cluster = MiniFlinkCluster(conf, num_taskmanagers=2)
+            cluster.start()
+            for index, taskmanager in enumerate(cluster.taskmanagers):
+                assert session._resolve(taskmanager.conf) == ("TaskManager",
+                                                              index)
+            cluster.shutdown()
+
+
+class TestHBase:
+    def test_thrift_compact_mismatch(self):
+        with agent("hbase.regionserver.thrift.compact", "ThriftServer", True,
+                   False):
+            conf = HBaseConfiguration()
+            cluster = MiniHBaseCluster(conf, num_regionservers=1,
+                                       with_thrift=True)
+            cluster.start()
+            cluster.master.create_table("t1")
+            with pytest.raises(errors.DecodeError):
+                ThriftAdmin(conf, cluster).put("t1", "r", "v")
+            cluster.shutdown()
+
+    def test_thrift_framed_mismatch(self):
+        with agent("hbase.regionserver.thrift.framed", "ThriftServer", True,
+                   False):
+            conf = HBaseConfiguration()
+            cluster = MiniHBaseCluster(conf, num_regionservers=1,
+                                       with_thrift=True)
+            cluster.start()
+            cluster.master.create_table("t1")
+            with pytest.raises(errors.DecodeError):
+                ThriftAdmin(conf, cluster).put("t1", "r", "v")
+            cluster.shutdown()
+
+    def test_thrift_homogeneous_compact_framed(self):
+        for compact in (True, False):
+            with agent("hbase.regionserver.thrift.compact", "ThriftServer",
+                       compact, compact):
+                conf = HBaseConfiguration()
+                conf.set("hbase.regionserver.thrift.framed", True)
+                cluster = MiniHBaseCluster(conf, num_regionservers=1,
+                                           with_thrift=True)
+                cluster.start()
+                cluster.master.create_table("t1")
+                admin = ThriftAdmin(conf, cluster)
+                admin.put("t1", "r", "v")
+                assert admin.get("t1", "r")["value"] == "v"
+                cluster.shutdown()
+
+    def test_hbase_writes_wal_to_embedded_hdfs(self):
+        conf = HBaseConfiguration()
+        cluster = MiniHBaseCluster(conf, num_regionservers=2)
+        cluster.start()
+        cluster.master.create_table("walled")
+        assert cluster.namenode.namespace.exists(
+            "/hbase/MasterProcWALs/walled")
+        cluster.shutdown()
+
+    def test_direct_open_region_uses_server_conf(self):
+        conf = HBaseConfiguration()
+        cluster = MiniHBaseCluster(conf, num_regionservers=1)
+        cluster.start()
+        server = cluster.regionservers[0]
+        server.open_region("ok-region", expected_split_size=conf.get_int(
+            "hbase.hregion.max.filesize"))
+        with pytest.raises(errors.NodeStateError):
+            server.open_region("bad-region", expected_split_size=123)
+        cluster.shutdown()

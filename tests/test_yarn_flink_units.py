@@ -1,0 +1,114 @@
+"""Focused unit tests for mini-YARN and mini-Flink internals."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.flink import FlinkConfiguration, MiniFlinkCluster
+from repro.apps.yarn import MiniYARNCluster, YarnClient, YarnConfiguration
+from repro.common.errors import AllocationError, SlotAllocationError
+from repro.common.wire import encode_payload
+
+
+@pytest.fixture()
+def yarn_cluster():
+    conf = YarnConfiguration()
+    cluster = MiniYARNCluster(conf, num_nodemanagers=2)
+    cluster.start()
+    yield conf, cluster
+    cluster.shutdown()
+
+
+class TestYarnPlacement:
+    def test_first_fit_prefers_lowest_id(self, yarn_cluster):
+        conf, cluster = yarn_cluster
+        client = YarnClient(conf, cluster)
+        client.submit_application("app")
+        granted = client.request_container("app", memory_mb=512, vcores=1)
+        assert granted["node"] == "nm0"
+
+    def test_spillover_to_second_node(self, yarn_cluster):
+        conf, cluster = yarn_cluster
+        client = YarnClient(conf, cluster)
+        client.submit_application("app")
+        nm_capacity = conf.get_int("yarn.nodemanager.resource.memory-mb")
+        first = client.request_container("app", memory_mb=nm_capacity,
+                                         vcores=1)
+        second = client.request_container("app", memory_mb=nm_capacity,
+                                          vcores=1)
+        assert {first["node"], second["node"]} == {"nm0", "nm1"}
+
+    def test_cluster_exhaustion_rejected(self, yarn_cluster):
+        conf, cluster = yarn_cluster
+        client = YarnClient(conf, cluster)
+        client.submit_application("app")
+        nm_capacity = conf.get_int("yarn.nodemanager.resource.memory-mb")
+        client.request_container("app", memory_mb=nm_capacity, vcores=1)
+        client.request_container("app", memory_mb=nm_capacity, vcores=1)
+        with pytest.raises(AllocationError, match="free"):
+            client.request_container("app", memory_mb=1024, vcores=1)
+
+    def test_vcore_exhaustion_rejected(self, yarn_cluster):
+        conf, cluster = yarn_cluster
+        client = YarnClient(conf, cluster)
+        client.submit_application("app")
+        vcores = conf.get_int("yarn.nodemanager.resource.cpu-vcores")
+        rm_max = conf.get_int("yarn.scheduler.maximum-allocation-vcores")
+        per_request = min(vcores, rm_max)
+        for _ in range(2 * (vcores // per_request)):
+            client.request_container("app", memory_mb=64, vcores=per_request)
+        with pytest.raises(AllocationError):
+            client.request_container("app", memory_mb=64, vcores=per_request)
+
+    def test_release_returns_both_dimensions(self, yarn_cluster):
+        conf, cluster = yarn_cluster
+        rm = cluster.resourcemanager
+        client = YarnClient(conf, cluster)
+        client.submit_application("app")
+        container = client.request_container("app", memory_mb=2048, vcores=2)
+        node = rm.nodemanagers[container["node"]]
+        assert node["used_mb"] == 2048 and node["used_vcores"] == 2
+        rm.release_container("app", container)
+        assert node["used_mb"] == 0 and node["used_vcores"] == 0
+        assert rm.applications["app"]["containers"] == []
+
+
+class TestFlinkInternals:
+    @pytest.fixture()
+    def flink_cluster(self):
+        conf = FlinkConfiguration()
+        cluster = MiniFlinkCluster(conf, num_taskmanagers=2)
+        cluster.start()
+        yield conf, cluster
+        cluster.shutdown()
+
+    def test_allocation_fills_taskmanagers_in_order(self, flink_cluster):
+        conf, cluster = flink_cluster
+        slots = conf.get_int("taskmanager.numberOfTaskSlots")
+        allocations = cluster.jobmanager.allocate_slots(slots + 1)
+        assert [a["tm_id"] for a in allocations[:slots]] == ["tm0"] * slots
+        assert allocations[slots]["tm_id"] == "tm1"
+
+    def test_capacity_error_names_the_numbers(self, flink_cluster):
+        conf, cluster = flink_cluster
+        with pytest.raises(SlotAllocationError, match="slots"):
+            cluster.jobmanager.allocate_slots(999)
+
+    def test_unknown_actor_message_rejected(self, flink_cluster):
+        conf, cluster = flink_cluster
+        wire = encode_payload({"kind": "poison-pill"},
+                              ssl=conf.get_bool("akka.ssl.enabled"))
+        with pytest.raises(ValueError, match="unknown actor message"):
+            cluster.jobmanager.receive_akka_message(wire)
+
+    def test_offer_slot_idempotent(self, flink_cluster):
+        conf, cluster = flink_cluster
+        taskmanager = cluster.taskmanagers[0]
+        taskmanager.offer_slot(0)
+        taskmanager.offer_slot(0)
+        assert taskmanager.occupied_slots == [0]
+
+    def test_taskmanager_lookup(self, flink_cluster):
+        conf, cluster = flink_cluster
+        assert cluster.taskmanager("tm1").tm_id == "tm1"
+        assert cluster.taskmanager("tm9") is None
