@@ -1,0 +1,73 @@
+"""Overhead and verdict accuracy of campaigns under fault injection.
+
+The tentpole question for the chaos subsystem: how much extra work does a
+realistic fault plan cost, and does it shake the verdicts?  A chaos
+campaign re-runs more instances (injected hetero-only failures look
+suspicious and must be dismissed by hypothesis testing, infra errors are
+retried), so executions go up — but the reported parameters must not
+change, or the robustness machinery would be trading correctness for
+realism.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.common.faults import FaultPlan
+from repro.core.orchestrator import Campaign, CampaignConfig
+from repro.core.report import render_table
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tests"))
+from test_faults import CHAOS_REGISTRY, chaos_test  # noqa: E402
+
+
+def run_campaign(fault_plan=None, tests: int = 20):
+    corpus = [chaos_test(name="TestChaos.testWindowAgreement%02d" % index)
+              for index in range(tests)]
+    config = CampaignConfig(
+        fault_plan=fault_plan,
+        only_params=frozenset(("chaos.window", "chaos.buffer")))
+    return Campaign("chaos", CHAOS_REGISTRY, tests=corpus,
+                    config=config).run()
+
+
+def run_variants():
+    clean = run_campaign()
+    moderate = run_campaign(FaultPlan.moderate(seed=11))
+    heavy = run_campaign(FaultPlan(seed=11, drop_prob=0.15, delay_prob=0.1,
+                                   duplicate_prob=0.02, crash_prob=0.05,
+                                   io_slowdown_prob=0.05, clock_jitter=0.02,
+                                   infra_error_prob=0.02))
+    return clean, moderate, heavy
+
+
+def test_fault_injection_overhead(benchmark):
+    clean, moderate, heavy = benchmark.pedantic(run_variants, rounds=1,
+                                                iterations=1)
+
+    rows = []
+    for label, report in (("clean", clean), ("moderate chaos", moderate),
+                          ("heavy chaos", heavy)):
+        overhead = (report.executions / clean.executions - 1.0) * 100.0
+        rows.append([label, report.executions, "%+.0f%%" % overhead,
+                     sum(report.fault_counts.values()),
+                     report.infra_retries_performed,
+                     report.hypothesis_stats.filtered_as_flaky,
+                     ",".join(sorted(v.param for v in report.verdicts))])
+    print("\nFault-injection overhead — chaos mini-app campaign:")
+    print(render_table(["Variant", "executions", "overhead", "faults",
+                        "infra retries", "dismissed", "reported"], rows))
+
+    # Verdict accuracy: chaos must not change what is reported.  The
+    # planted unsafe parameter survives, the safe one stays unreported.
+    for report in (clean, moderate, heavy):
+        reported = {v.param for v in report.verdicts}
+        assert "chaos.window" in reported
+        assert "chaos.buffer" not in reported
+
+    # Chaos costs executions (confirmation re-runs + infra retries) and
+    # the clean campaign injects nothing.
+    assert heavy.executions > clean.executions
+    assert clean.fault_counts == {}
+    assert sum(heavy.fault_counts.values()) > 0

@@ -1,0 +1,172 @@
+#!/usr/bin/env python
+"""Walkthrough: a ZebraConf campaign under deterministic fault injection.
+
+Real whole-system unit tests are flaky — messages get lost, daemons die,
+clocks drift — and the paper's hypothesis-testing stage (§5) exists
+precisely to keep that flakiness out of the findings.  This example
+builds a small cluster application on the simulation substrate, plants
+one heterogeneous-unsafe parameter, and then runs three campaigns:
+
+1. a **clean** campaign (no faults) — the baseline findings;
+2. a **chaos** campaign under a seeded :class:`FaultPlan` — message
+   drops/delays/duplicates, node crash/restart cycles, slow I/O, clock
+   jitter, and injected harness errors.  The findings must not change:
+   injected failures hit heterogeneous and homogeneous trials alike, so
+   the Fisher exact test dismisses them;
+3. the **same chaos campaign again** — byte-identical report, because the
+   fault schedule is deterministic in (plan, seed);
+
+and finally demonstrates checkpoint/resume: the chaos campaign is
+journaled to a JSONL file, the journal is truncated as if the process
+had been killed mid-run, and a resumed campaign reproduces the
+uninterrupted report without re-running the journaled tests.
+
+Run::
+
+    python examples/chaos_campaign.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+from repro.common.cluster import MiniCluster
+from repro.common.configuration import Configuration
+from repro.common.errors import TestFailure
+from repro.common.faults import FaultPlan
+from repro.common.ipc import RpcClient, RpcServer
+from repro.common.node import Node, node_init, register_node_type
+from repro.common.params import ENUM, INT, ParamRegistry
+from repro.core import Campaign, CampaignConfig, TestContext, UnitTest
+from repro.core.report import app_report_to_dict
+
+# ---------------------------------------------------------------------------
+# 1. A small cluster application on the simulation substrate.
+# ---------------------------------------------------------------------------
+DEMO_REGISTRY = ParamRegistry("demo")
+DEMO_REGISTRY.define("demo.epoch-length", INT, 60, candidates=(60, 3600),
+                     description="Planted unsafe: peers must agree on it.")
+DEMO_REGISTRY.define("demo.cache-slots", INT, 64, candidates=(64, 1024),
+                     description="Safe: read at init, never compared.")
+DEMO_REGISTRY.define("hadoop.rpc.protection", ENUM, "authentication",
+                     values=("authentication", "integrity", "privacy"),
+                     description="Read by the RPC substrate.")
+
+register_node_type("demo", "Member")
+
+
+class DemoConfiguration(Configuration):
+    registry = DEMO_REGISTRY
+
+
+class Member(Node):
+    """A cluster member that serves its epoch length over RPC."""
+
+    node_type = "Member"
+
+    def __init__(self, conf: Configuration, cluster: MiniCluster) -> None:
+        with node_init(self):
+            super().__init__(conf, cluster)
+            self.epoch = self.conf.get_int("demo.epoch-length")
+            self.cache_slots = self.conf.get_int("demo.cache-slots")
+            self.server = RpcServer("Member", self.conf)
+            self.server.register("epoch", lambda: self.epoch)
+        self.start()
+
+
+def membership_test(name: str) -> UnitTest:
+    def body(ctx: TestContext) -> None:
+        conf = DemoConfiguration()
+        with MiniCluster() as cluster:
+            first = cluster.add_node(Member(conf, cluster))
+            second = cluster.add_node(Member(conf, cluster))
+            cluster.run_for(30.0)  # injected crashes land in this window
+            if not (first.running and second.running):
+                return  # a member is down; nothing to compare
+            client = RpcClient(first.conf)
+            peer_epoch = client.call(second.server, "epoch")
+            if first.epoch != peer_epoch or peer_epoch != conf.get_int(
+                    "demo.epoch-length"):
+                raise TestFailure("epoch mismatch across the membership")
+
+    return UnitTest(app="demo", name=name, fn=body)
+
+
+CORPUS = [membership_test("TestMembership.testEpochAgreement%02d" % index)
+          for index in range(8)]
+
+
+def run_campaign(fault_plan=None, checkpoint_path=None):
+    config = CampaignConfig(
+        fault_plan=fault_plan, checkpoint_path=checkpoint_path,
+        only_params=frozenset(("demo.epoch-length", "demo.cache-slots")))
+    return Campaign("demo", DEMO_REGISTRY, tests=list(CORPUS),
+                    config=config).run()
+
+
+# ---------------------------------------------------------------------------
+# 2. Clean vs chaos vs chaos-again.
+# ---------------------------------------------------------------------------
+def main() -> None:
+    plan = FaultPlan(seed=17, drop_prob=0.12, delay_prob=0.1,
+                     duplicate_prob=0.02, crash_prob=0.05,
+                     io_slowdown_prob=0.05, clock_jitter=0.02,
+                     infra_error_prob=0.01)
+
+    clean = run_campaign()
+    chaos = run_campaign(fault_plan=plan)
+    chaos_again = run_campaign(fault_plan=plan)
+
+    print("clean campaign : %4d executions, %d faults, reported: %s"
+          % (clean.executions, sum(clean.fault_counts.values()),
+             sorted(v.param for v in clean.verdicts)))
+    print("chaos campaign : %4d executions, %d faults (%s), %d infra "
+          "retries, reported: %s"
+          % (chaos.executions, sum(chaos.fault_counts.values()),
+             ", ".join("%s x%d" % kv for kv in
+                       sorted(chaos.fault_counts.items())),
+             chaos.infra_retries_performed,
+             sorted(v.param for v in chaos.verdicts)))
+    print("hypothesis testing under chaos: %d suspicious first trials, "
+          "%d dismissed as injected flakiness"
+          % (chaos.hypothesis_stats.suspicious_first_trial,
+             chaos.hypothesis_stats.filtered_as_flaky))
+
+    assert {v.param for v in clean.verdicts} == {"demo.epoch-length"}
+    assert {v.param for v in chaos.verdicts} == {"demo.epoch-length"}
+    assert sum(chaos.fault_counts.values()) > 0
+    assert app_report_to_dict(chaos) == app_report_to_dict(chaos_again)
+    print("OK: same seed, byte-identical chaos report; findings unchanged.")
+
+    # -----------------------------------------------------------------
+    # 3. Checkpoint/resume: kill the campaign mid-run, resume, compare.
+    # -----------------------------------------------------------------
+    handle, path = tempfile.mkstemp(suffix=".jsonl", prefix="zebraconf-ck-")
+    os.close(handle)
+    try:
+        os.unlink(path)
+        full = run_campaign(fault_plan=plan, checkpoint_path=path)
+
+        kept, done = [], 0
+        for line in open(path):
+            if json.loads(line)["kind"] == "test-done":
+                done += 1
+                if done > 3:  # simulate a kill after the third test
+                    continue
+            kept.append(line)
+        with open(path, "w") as journal:
+            journal.writelines(kept)
+
+        resumed = run_campaign(fault_plan=plan, checkpoint_path=path)
+        assert app_report_to_dict(resumed) == app_report_to_dict(full)
+        print("OK: resumed campaign (3/%d tests restored from the journal) "
+              "reproduces the uninterrupted report." % done)
+    finally:
+        if os.path.exists(path):
+            os.unlink(path)
+
+
+if __name__ == "__main__":
+    main()

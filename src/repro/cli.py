@@ -18,6 +18,7 @@ import time
 from typing import List, Optional
 
 from repro.apps import catalog
+from repro.core.checkpoint import CheckpointError
 from repro.core.orchestrator import Campaign, CampaignConfig, run_full_campaign
 from repro.core.registry import load_all_suites
 from repro.core.report import (AppReport, app_report_to_dict,
@@ -93,17 +94,79 @@ def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
                              "parameters (regressions)")
     parser.add_argument("--markdown", metavar="PATH",
                         help="also write the report as a markdown document")
+    resilience = parser.add_argument_group(
+        "resilience", "checkpointing, crash containment, fault injection")
+    resilience.add_argument("--checkpoint", metavar="PATH",
+                            help="journal finished work to this JSONL file "
+                                 "and resume from it on restart (already-"
+                                 "finished unit tests are not re-executed)")
+    resilience.add_argument("--infra-retries", type=int, default=2,
+                            metavar="N",
+                            help="retries (with backoff) for infrastructure "
+                                 "errors per execution (default 2); test-"
+                                 "oracle failures are never retried")
+    resilience.add_argument("--watchdog", type=float, default=None,
+                            metavar="SIM_SECONDS",
+                            help="simulated-time budget per execution before "
+                                 "it is killed as a timeout (default: 30 "
+                                 "simulated days)")
+    resilience.add_argument("--chaos", action="store_true",
+                            help="inject the moderate fault preset (message "
+                                 "drops/delays/duplicates, node crashes, "
+                                 "slow I/O, clock jitter, infra errors)")
+    resilience.add_argument("--fault-seed", type=int, default=0,
+                            metavar="SEED",
+                            help="seed for the deterministic fault schedule "
+                                 "(same seed = identical chaos, default 0)")
+    for flag, text in (
+            ("--fault-drop", "message/RPC drop probability"),
+            ("--fault-delay", "message delay probability"),
+            ("--fault-duplicate", "RPC duplicate-delivery probability"),
+            ("--fault-crash", "per-node crash/restart probability"),
+            ("--fault-slow-io", "slow-I/O perturbation probability"),
+            ("--fault-clock-jitter", "relative timer clock jitter"),
+            ("--fault-infra", "injected infrastructure-error probability")):
+        resilience.add_argument(flag, type=float, default=None,
+                                metavar="PROB",
+                                help="%s (overrides the --chaos preset)" % text)
+
+
+def _fault_plan(args: argparse.Namespace) -> "Optional[FaultPlan]":
+    from dataclasses import replace
+
+    from repro.common.faults import FaultPlan
+    base = (FaultPlan.moderate(args.fault_seed) if args.chaos
+            else FaultPlan(seed=args.fault_seed))
+    overrides = {}
+    for flag, fieldname in (("fault_drop", "drop_prob"),
+                            ("fault_delay", "delay_prob"),
+                            ("fault_duplicate", "duplicate_prob"),
+                            ("fault_crash", "crash_prob"),
+                            ("fault_slow_io", "io_slowdown_prob"),
+                            ("fault_clock_jitter", "clock_jitter"),
+                            ("fault_infra", "infra_error_prob")):
+        value = getattr(args, flag)
+        if value is not None:
+            overrides[fieldname] = value
+    plan = replace(base, **overrides) if overrides else base
+    return plan if plan.active else None
 
 
 def _config(args: argparse.Namespace) -> CampaignConfig:
     from repro.core.tracelog import TraceLog
     only = frozenset(args.params) if args.params else None
-    return CampaignConfig(workers=args.workers,
-                          max_pool_size=args.pool_size,
-                          blacklist_threshold=args.blacklist_threshold,
-                          disable_ipc_sharing=args.disable_ipc_sharing,
-                          only_params=only,
-                          trace=TraceLog() if args.trace else None)
+    config = CampaignConfig(workers=args.workers,
+                            max_pool_size=args.pool_size,
+                            blacklist_threshold=args.blacklist_threshold,
+                            disable_ipc_sharing=args.disable_ipc_sharing,
+                            only_params=only,
+                            trace=TraceLog() if args.trace else None,
+                            fault_plan=_fault_plan(args),
+                            checkpoint_path=args.checkpoint,
+                            infra_retries=args.infra_retries)
+    if args.watchdog is not None:
+        config.watchdog_sim_s = args.watchdog
+    return config
 
 
 def _write_trace(args: argparse.Namespace, config: CampaignConfig) -> None:
@@ -192,9 +255,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         spec = catalog.spec_for(args.app)
         config = _config(args)
         started = time.time()
-        report = Campaign(args.app, spec.registry,
-                          dependency_rules=spec.dependency_rules,
-                          config=config).run()
+        try:
+            report = Campaign(args.app, spec.registry,
+                              dependency_rules=spec.dependency_rules,
+                              config=config).run()
+        except CheckpointError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
         print("campaign over %r finished in %.1fs\n"
               % (args.app, time.time() - started))
         _print_app_report(report)
@@ -223,7 +290,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         config = _config(args)
         started = time.time()
-        report = run_full_campaign(config)
+        try:
+            report = run_full_campaign(config)
+        except CheckpointError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
         print("full evaluation finished in %.1fs\n" % (time.time() - started))
         print(render_unsafe_params(report))
         print()

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Optional, Type, TypeVar
 
+from repro.common.faults import current_injector
 from repro.common.node import Node
 from repro.common.simulation import Simulator
 
@@ -25,6 +26,8 @@ class MiniCluster:
         self.nodes: List[Node] = []
         self.ipc = None  # shared IPC component, see ensure_ipc()
         self._shut_down = False
+        # Under an active fault scope, perturb this cluster's clock.
+        current_injector().attach_clock(self.sim)
 
     def ensure_ipc(self, conf_factory: Any) -> Any:
         """Create the process-wide shared IPC component on first use.
@@ -43,6 +46,9 @@ class MiniCluster:
     # ------------------------------------------------------------------
     def add_node(self, node: N) -> N:
         self.nodes.append(node)
+        # Under an active fault scope, the node may draw a deterministic
+        # crash/restart cycle (see repro.common.faults.FaultInjector).
+        current_injector().schedule_node_faults(node)
         return node
 
     def nodes_of(self, node_class: Type[N]) -> List[N]:

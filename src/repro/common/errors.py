@@ -104,3 +104,14 @@ class SlotAllocationError(ReproError):
 
 class TestFailure(AssertionError, ReproError):
     """Raised by corpus unit tests when an application-level check fails."""
+
+
+class InfrastructureError(ReproError):
+    """The test *harness* (not the application under test) failed.
+
+    A container that died, a filesystem that filled up, an injected
+    environment fault.  TestRunner treats these separately from
+    test-oracle failures: they are retried with backoff and, if they
+    persist, reported as ``infra-error`` instead of polluting the
+    heterogeneous-unsafe statistics.
+    """

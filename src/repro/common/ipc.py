@@ -26,6 +26,7 @@ from typing import Any, Callable, Dict, Generator, Optional, Tuple
 
 from repro.common.configuration import Configuration
 from repro.common.errors import RpcError, SocketTimeout
+from repro.common.faults import current_injector
 from repro.common.wire import decode_payload, encode_payload, negotiate_sasl
 
 #: Parameters the shared IPC component reads both ways (the four
@@ -118,12 +119,20 @@ class RpcClient:
     # ------------------------------------------------------------------
     def call(self, server: RpcServer, method: str, *args: Any) -> Any:
         """Instantaneous RPC: handshake + encode/decode, no simulated time."""
+        what = "rpc %s.%s" % (server.owner, method)
+        injector = current_injector()
+        if injector.drop_message(what):
+            raise SocketTimeout("injected fault: %s request dropped" % what)
         level = negotiate_sasl(self.protection(), server.protection(), what="rpc")
         if self.ipc is not None:
             self.ipc.check_connection_params(self.conf)
         opts = _wire_opts(level)
         request = decode_payload(
             encode_payload({"method": method, "args": list(args)}, **opts), **opts)
+        if injector.duplicate_message(what):
+            # at-least-once delivery: the server processes the request
+            # twice; non-idempotent handlers corrupt state accordingly.
+            server._dispatch(request["method"], request["args"])
         result = server._dispatch(request["method"], request["args"])
         return decode_payload(encode_payload({"result": result}, **opts),
                               **opts)["result"]
@@ -136,22 +145,37 @@ class RpcClient:
         keepalive every :meth:`RpcServer.keepalive_interval_s`; the client
         aborts when it sees no bytes for :meth:`timeout_s`.
         """
+        what = "rpc %s.%s" % (server.owner, method)
+        injector = current_injector()
         level = negotiate_sasl(self.protection(), server.protection(), what="rpc")
         if self.ipc is not None:
             self.ipc.check_connection_params(self.conf)
         client_deadline = self.timeout_s()
         keepalive = server.keepalive_interval_s()
+        if injector.drop_message(what):
+            # The request never reaches the server: the client sees no
+            # bytes at all and gives up at its deadline (or, with no
+            # deadline configured, after the call's nominal duration).
+            wait = client_deadline if client_deadline != float("inf") else duration
+            yield wait
+            raise SocketTimeout("injected fault: %s request dropped "
+                                "(gave up after %.3fs)" % (what, wait))
+        # An injected network delay widens the first inter-byte gap, so a
+        # tight client deadline can genuinely trip on it.
+        gap_extra = injector.message_delay(what)
         remaining = duration
         while remaining > 0:
-            next_bytes_in = min(keepalive, remaining)
-            if next_bytes_in > client_deadline:
+            work = min(keepalive, remaining)
+            gap = work + gap_extra
+            gap_extra = 0.0
+            if gap > client_deadline:
                 yield client_deadline
                 raise SocketTimeout(
                     "rpc %s.%s: no response within %.3fs (server keepalive "
                     "cadence %.3fs)" % (server.owner, method, client_deadline,
                                         keepalive))
-            yield next_bytes_in
-            remaining -= next_bytes_in
+            yield gap
+            remaining -= work
         opts = _wire_opts(level)
         result = server._dispatch(method, list(args))
         return decode_payload(encode_payload({"result": result}, **opts),

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Any, Callable, Generator, Optional
 
 from repro.common.errors import SocketTimeout
+from repro.common.faults import current_injector
 from repro.common.simulation import Event, Simulator
 
 
@@ -65,6 +66,7 @@ class BandwidthThrottler:
             # The epsilon guarantees the refill strictly covers the request,
             # preventing a floating-point spin of ~1e-12s sleeps.
             wait = (needed - self._available) / rate + 1e-6
+            wait *= current_injector().io_slowdown()
             self.total_throttled_time += wait
             yield wait
 
@@ -91,6 +93,7 @@ class BandwidthThrottler:
                 return
             rate = max(self.rate_fn(), 1e-9)
             wait = -self._available / rate + 1e-6
+            wait *= current_injector().io_slowdown()
             self.total_throttled_time += wait
             yield wait
 
@@ -107,32 +110,32 @@ def timed_wait(sim: Simulator, event: Event, timeout: float,
     Yields the event's value on success; raises
     :class:`~repro.common.errors.SocketTimeout` when ``timeout`` simulated
     seconds pass first.
+
+    The race leaves nothing behind once it resolves: the deadline timer
+    is cancelled when the event wins, and the event side is a trigger
+    callback rather than a watcher process — so the losing side neither
+    inflates :meth:`Simulator.pending_events` nor keeps a dead generator
+    alive (it used to do both).
     """
-    deadline = sim.timeout(timeout)
     race = sim.event()
 
     def _on_deadline() -> None:
         if not race.triggered:
             race.fail(SocketTimeout("%s timed out after %.3fs" % (what, timeout)))
 
+    deadline_timer = sim.schedule(timeout, _on_deadline)
+
+    if current_injector().drop_message(what):
+        # The awaited bytes never arrive; only the deadline can resolve
+        # the race.  (The real event may still trigger for other waiters.)
+        value = yield race
+        return value
+
     def _on_event() -> None:
         if not race.triggered:
+            deadline_timer.cancel()
             race.succeed(event.value if event.ok else None)
 
-    _watch(sim, deadline, _on_deadline)
-    _watch(sim, event, _on_event)
+    event.on_trigger(_on_event)
     value = yield race
     return value
-
-
-def _watch(sim: Simulator, event: Event, callback: Callable[[], None]) -> None:
-    """Invoke ``callback`` when ``event`` triggers (internal helper)."""
-
-    def _waiter() -> Generator:
-        try:
-            yield event
-        except Exception:
-            pass  # the racer only cares that the event triggered
-        callback()
-
-    sim.spawn(_waiter(), name="watch")

@@ -58,6 +58,8 @@ class Node:
         self.sim = cluster.sim
         self._running = False
         self._periodic_tasks: List[Any] = []
+        #: fault-injection crash cycles survived (see repro.common.faults).
+        self.crashes = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -78,6 +80,23 @@ class Node:
         for task in self._periodic_tasks:
             task.stop()
         self._periodic_tasks = []
+
+    def crash(self) -> None:
+        """Fault-injection hook: hard-stop the node mid-test.
+
+        Semantically a process kill: periodic daemons die with it (they
+        are not resurrected until :meth:`restart` runs the subclass's
+        ``start``), and anything that calls :meth:`ensure_running` in the
+        outage window fails like it would against a dead JVM.
+        """
+        if self._running:
+            self.crashes += 1
+            self.stop()
+
+    def restart(self) -> None:
+        """Fault-injection hook: bring a crashed node back up."""
+        if not self._running:
+            self.start()
 
     def ensure_running(self) -> None:
         if not self._running:

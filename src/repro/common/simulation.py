@@ -29,11 +29,41 @@ order (a monotonically increasing sequence number breaks ties).
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, List, Optional, Tuple
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Callable, Generator, Iterator, List, Optional, Tuple
 
 
 class SimulationError(Exception):
     """Internal kernel misuse (e.g. waiting on an already-consumed event)."""
+
+
+class SimTimeLimitExceeded(SimulationError):
+    """A simulator advanced past the watchdog budget set by
+    :func:`sim_time_limit` — the simulated-time analogue of a JUnit
+    ``@Test(timeout=...)`` killing a runaway test."""
+
+
+#: Simulated-time budget inherited by every Simulator created in scope.
+_TIME_LIMIT: ContextVar[Optional[float]] = ContextVar(
+    "sim_time_limit", default=None)
+
+
+@contextmanager
+def sim_time_limit(limit: Optional[float]) -> Iterator[None]:
+    """Bound the simulated lifetime of Simulators built in this scope.
+
+    Any simulator constructed while the context is active raises
+    :class:`SimTimeLimitExceeded` from ``run()`` when it would advance
+    past ``limit`` simulated seconds.  TestRunner wraps every unit-test
+    execution in this watchdog so a fault-perturbed (or simply buggy)
+    test cannot consume unbounded scheduling work.
+    """
+    token = _TIME_LIMIT.set(limit)
+    try:
+        yield
+    finally:
+        _TIME_LIMIT.reset(token)
 
 
 class Event:
@@ -44,7 +74,8 @@ class Event:
     triggers.
     """
 
-    __slots__ = ("sim", "_triggered", "_value", "_exception", "_waiters")
+    __slots__ = ("sim", "_triggered", "_value", "_exception", "_waiters",
+                 "_callbacks")
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
@@ -52,6 +83,7 @@ class Event:
         self._value: Any = None
         self._exception: Optional[BaseException] = None
         self._waiters: List["Process"] = []
+        self._callbacks: List[Callable[[], None]] = []
 
     @property
     def triggered(self) -> bool:
@@ -89,12 +121,28 @@ class Event:
         waiters, self._waiters = self._waiters, []
         for process in waiters:
             self.sim._schedule_resume(process, self)
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self.sim.schedule(0.0, callback)
 
     def _add_waiter(self, process: "Process") -> None:
         if self._triggered:
             self.sim._schedule_resume(process, self)
         else:
             self._waiters.append(process)
+
+    def on_trigger(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` (at the trigger instant) when this event fires.
+
+        Unlike spawning a watcher process, a callback holds no heap entry
+        and no live generator while it waits — racing helpers like
+        :func:`repro.common.network.timed_wait` use this so the losing
+        side of a race leaves nothing behind.
+        """
+        if self._triggered:
+            self.sim.schedule(0.0, callback)
+        else:
+            self._callbacks.append(callback)
 
 
 class Timer:
@@ -201,6 +249,11 @@ class Simulator:
         self._seq = 0
         self._heap: List[Tuple[float, int, Timer]] = []
         self.crashed_processes: List[Tuple[Process, BaseException]] = []
+        #: watchdog: raise once the loop would advance past this instant.
+        self.time_limit: Optional[float] = _TIME_LIMIT.get()
+        #: fault-injection hook: perturb every positive scheduling delay
+        #: (see repro.common.faults; None keeps the kernel exact).
+        self.jitter_fn: Optional[Callable[[float], float]] = None
 
     # ------------------------------------------------------------------
     # time and scheduling
@@ -213,6 +266,8 @@ class Simulator:
         """Run ``callback(*args)`` after ``delay`` simulated seconds."""
         if delay < 0:
             raise ValueError("delay must be non-negative, got %r" % delay)
+        if self.jitter_fn is not None and delay > 0:
+            delay = self.jitter_fn(delay)
         timer = Timer(self._now + delay, callback, args)
         self._seq += 1
         heapq.heappush(self._heap, (timer.when, self._seq, timer))
@@ -322,6 +377,11 @@ class Simulator:
             heapq.heappop(self._heap)
             if timer.cancelled:
                 continue
+            if self.time_limit is not None and when > self.time_limit:
+                self._now = self.time_limit
+                raise SimTimeLimitExceeded(
+                    "simulation exceeded its %.0fs simulated-time budget"
+                    % self.time_limit)
             self._now = when
             timer.callback(*timer.args)
         if max_time != float("inf"):

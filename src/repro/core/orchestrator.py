@@ -10,19 +10,21 @@ fan out across a thread pool (the paper used up to 100 machines; §4
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.common.faults import FaultPlan
 from repro.common.node import NODE_TYPES
 from repro.common.params import ParamRegistry
 from repro.core.confagent import UNIT_TEST
+from repro.core.checkpoint import CampaignCheckpoint
 from repro.core.pooling import FrequentFailureTracker, PooledTester, PoolStats
 from repro.core.prerun import PreRunSummary, TestProfile, prerun_corpus
 from repro.core.registry import CORPUS, Corpus, UnitTest
 from repro.core.report import (AppReport, CampaignReport, HypothesisTestingStats,
                                StageCounts)
-from repro.core.runner import (CONFIRMED_UNSAFE, FLAKY_DISMISSED, InstanceResult,
-                               TestRunner)
+from repro.core.runner import (CONFIRMED_UNSAFE, DEFAULT_WATCHDOG_SIM_S,
+                               FLAKY_DISMISSED, InstanceResult, TestRunner)
 from repro.core.stats import DEFAULT_ALPHA
 from repro.core.testgen import DependencyRule, TestGenerator
 from repro.core.triage import ParamVerdict, triage_report
@@ -49,9 +51,50 @@ class CampaignConfig:
     only_params: Optional[frozenset] = None
     #: optional structured event log (see repro.core.tracelog).
     trace: Optional[Any] = None
+    #: deterministic chaos schedule applied to every execution (None or an
+    #: all-zero plan = clean runs).  See repro.common.faults.
+    fault_plan: Optional[FaultPlan] = None
+    #: JSONL journal for checkpoint/resume (None = no checkpointing).
+    checkpoint_path: Optional[str] = None
+    #: bounded retries for infrastructure errors per execution.
+    infra_retries: int = 2
+    #: simulated-seconds budget per execution before TEST_TIMEOUT.
+    watchdog_sim_s: float = DEFAULT_WATCHDOG_SIM_S
 
     def param_allowed(self, name: str) -> bool:
         return self.only_params is None or name in self.only_params
+
+    def checkpoint_settings(self) -> Dict[str, Any]:
+        """The settings a resumed campaign must match (JSON-friendly)."""
+        return {
+            "alpha": self.alpha,
+            "max_trials": self.max_trials,
+            "blacklist_threshold": self.blacklist_threshold,
+            "max_value_pairs": self.max_value_pairs,
+            "max_pool_size": self.max_pool_size,
+            "disable_ipc_sharing": self.disable_ipc_sharing,
+            "only_params": (None if self.only_params is None
+                            else sorted(self.only_params)),
+            "fault_plan": (None if self.fault_plan is None
+                           else asdict(self.fault_plan)),
+            "infra_retries": self.infra_retries,
+            "watchdog_sim_s": self.watchdog_sim_s,
+        }
+
+
+@dataclass
+class ProfileOutcome:
+    """What one unit-test profile contributed to the campaign."""
+
+    results: List[InstanceResult] = field(default_factory=list)
+    stats: PoolStats = field(default_factory=PoolStats)
+    executions: int = 0
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+    retries: int = 0
+    #: non-empty when the profile run itself crashed (harness bug or
+    #: unrecoverable environment failure): the campaign degrades to
+    #: reporting the error instead of aborting the whole run.
+    error: str = ""
 
 
 class Campaign:
@@ -84,20 +127,50 @@ class Campaign:
         profiles = prerun_corpus(self.tests)
         usable = [p for p in profiles if p.usable]
         stage_counts = self._stage_counts(profiles, usable)
+        checkpoint = self._open_checkpoint()
+
+        # Partition tests into already-journaled (restore + replay their
+        # blacklist effects) and still-pending (run for real).  Outcomes
+        # are assembled keyed by test and folded back in the original
+        # profile order so a resumed campaign reproduces the interrupted
+        # one bit for bit.
+        outcome_by_test: Dict[str, ProfileOutcome] = {}
+        pending: List[TestProfile] = []
+        for profile in usable:
+            name = profile.test.full_name
+            if checkpoint is not None and checkpoint.has_test(name):
+                outcome = self._restore_profile(checkpoint, name)
+                outcome_by_test[name] = outcome
+            else:
+                pending.append(profile)
+
+        if self.config.workers > 1:
+            with ThreadPoolExecutor(max_workers=self.config.workers) as pool:
+                fresh = list(pool.map(
+                    lambda p: self._run_profile_contained(p, checkpoint),
+                    pending))
+        else:
+            fresh = [self._run_profile_contained(p, checkpoint)
+                     for p in pending]
+        for profile, outcome in zip(pending, fresh):
+            outcome_by_test[profile.test.full_name] = outcome
 
         results: List[InstanceResult] = []
         pool_stats = PoolStats()
         executions = len(profiles)  # pre-run executions count as runs too
-
-        if self.config.workers > 1:
-            with ThreadPoolExecutor(max_workers=self.config.workers) as pool:
-                outcomes = list(pool.map(self._run_test_profile, usable))
-        else:
-            outcomes = [self._run_test_profile(p) for p in usable]
-        for test_results, test_stats, test_executions in outcomes:
-            results.extend(test_results)
-            _merge_stats(pool_stats, test_stats)
-            executions += test_executions
+        fault_counts: Dict[str, int] = {}
+        retries = 0
+        degraded: List[str] = []
+        for profile in usable:
+            outcome = outcome_by_test[profile.test.full_name]
+            results.extend(outcome.results)
+            _merge_stats(pool_stats, outcome.stats)
+            executions += outcome.executions
+            for kind, count in outcome.fault_counts.items():
+                fault_counts[kind] = fault_counts.get(kind, 0) + count
+            retries += outcome.retries
+            if outcome.error:
+                degraded.append(profile.test.full_name)
 
         stage_counts.after_pooling = pool_stats.total_instances_run
         hypothesis_stats = _hypothesis_stats(results)
@@ -115,7 +188,68 @@ class Campaign:
             results_by_param=results_by_param,
             blacklisted=tuple(sorted(self.tracker.blacklisted)),
             executions=executions,
-            machine_time_s=executions * self.config.run_cost_s)
+            machine_time_s=executions * self.config.run_cost_s,
+            fault_counts=dict(sorted(fault_counts.items())),
+            infra_retries_performed=retries,
+            degraded_tests=tuple(degraded))
+
+    # ------------------------------------------------------------------
+    # checkpoint/resume
+    # ------------------------------------------------------------------
+    def _open_checkpoint(self) -> Optional[CampaignCheckpoint]:
+        if not self.config.checkpoint_path:
+            return None
+        checkpoint = CampaignCheckpoint(self.config.checkpoint_path)
+        finished = checkpoint.load()
+        checkpoint.check_header(self.app, self.config.checkpoint_settings())
+        trace = self.config.trace
+        if trace is not None:
+            trace.emit("checkpoint-open", app=self.app,
+                       path=self.config.checkpoint_path,
+                       finished_tests=finished,
+                       partial_tests=sorted(checkpoint.partial_tests))
+        return checkpoint
+
+    def _restore_profile(self, checkpoint: CampaignCheckpoint,
+                         name: str) -> ProfileOutcome:
+        tests_by_name = {t.full_name: t for t in self.tests}
+        (results, stats, executions, fault_counts, retries,
+         error) = checkpoint.restore_test(name, tests_by_name)
+        # Replay blacklist bookkeeping: confirmations from journaled
+        # tests must count toward the frequent-failure threshold exactly
+        # as they did in the interrupted run.
+        for result in results:
+            if result.verdict == CONFIRMED_UNSAFE:
+                for param in result.instance.params:
+                    self.tracker.record_unsafe(param, name)
+        trace = self.config.trace
+        if trace is not None:
+            trace.emit("checkpoint-restore", app=self.app, test=name,
+                       instances=len(results), executions=executions)
+        return ProfileOutcome(results=results, stats=stats,
+                              executions=executions,
+                              fault_counts=fault_counts, retries=retries,
+                              error=error)
+
+    def _run_profile_contained(self, profile: TestProfile,
+                               checkpoint: Optional[CampaignCheckpoint]
+                               ) -> ProfileOutcome:
+        """Run one profile; contain harness crashes; journal the outcome."""
+        try:
+            outcome = self._run_test_profile(profile, checkpoint)
+        except Exception as exc:  # noqa: BLE001 - graceful degradation
+            outcome = ProfileOutcome(
+                error="%s: %s" % (type(exc).__name__, exc))
+            trace = self.config.trace
+            if trace is not None:
+                trace.emit("test-error", app=self.app,
+                           test=profile.test.full_name, error=outcome.error)
+        if checkpoint is not None:
+            checkpoint.record_test_done(
+                profile.test.full_name, outcome.results, outcome.stats,
+                outcome.executions, fault_counts=outcome.fault_counts,
+                retries=outcome.retries, error=outcome.error)
+        return outcome
 
     # ------------------------------------------------------------------
     def _emit_trace(self, profiles, results, verdicts, executions) -> None:
@@ -151,14 +285,21 @@ class Campaign:
                                   if v.is_true_problem])
 
     # ------------------------------------------------------------------
-    def _run_test_profile(self, profile: TestProfile
-                          ) -> Tuple[List[InstanceResult], PoolStats, int]:
+    def _run_test_profile(self, profile: TestProfile,
+                          checkpoint: Optional[CampaignCheckpoint] = None
+                          ) -> ProfileOutcome:
         """All pooled testing for one unit test (parallelism granule)."""
         runner = TestRunner(alpha=self.config.alpha,
                             max_trials=self.config.max_trials,
-                            run_cost_s=self.config.run_cost_s)
+                            run_cost_s=self.config.run_cost_s,
+                            fault_plan=self.config.fault_plan,
+                            infra_retries=self.config.infra_retries,
+                            watchdog_sim_s=self.config.watchdog_sim_s,
+                            trace=self.config.trace)
+        on_result = None if checkpoint is None else checkpoint.record_instance
         tester = PooledTester(runner, tracker=self.tracker,
-                              max_pool_size=self.config.max_pool_size)
+                              max_pool_size=self.config.max_pool_size,
+                              on_result=on_result)
         results: List[InstanceResult] = []
         for group in sorted(profile.groups):
             group_size = profile.groups[group]
@@ -178,7 +319,10 @@ class Campaign:
                              for name in params
                              if layer < len(pairs_by_param[name])]
                     results.extend(tester.run(profile.test, group, strategy, units))
-        return results, tester.stats, runner.executions
+        return ProfileOutcome(results=results, stats=tester.stats,
+                              executions=runner.executions,
+                              fault_counts=dict(runner.fault_counts),
+                              retries=runner.retries_performed)
 
     # ------------------------------------------------------------------
     def _stage_counts(self, profiles: Sequence[TestProfile],

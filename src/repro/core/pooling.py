@@ -17,8 +17,9 @@ outright and excluded from future pools.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.runner import CONFIRMED_UNSAFE, InstanceResult, TestRunner, stable_seed
 from repro.core.registry import UnitTest
@@ -31,24 +32,34 @@ class FrequentFailureTracker:
     ``threshold`` distinct unit tests confirming a parameter unsafe are
     enough to stop testing it: it is reported unsafe and never pooled
     again.
+
+    One tracker is shared by every worker thread of a campaign
+    (``CampaignConfig.workers > 1``), so the read-modify-write in
+    :meth:`record_unsafe` is guarded by a lock — without it two threads
+    confirming the same parameter concurrently could each observe a
+    below-threshold set and the parameter would never be blacklisted.
     """
 
     def __init__(self, threshold: int = 3) -> None:
         self.threshold = threshold
+        self._lock = threading.Lock()
         self._failed_tests: Dict[str, Set[str]] = {}
         self.blacklisted: Set[str] = set()
 
     def record_unsafe(self, param: str, test_name: str) -> None:
-        tests = self._failed_tests.setdefault(param, set())
-        tests.add(test_name)
-        if len(tests) >= self.threshold:
-            self.blacklisted.add(param)
+        with self._lock:
+            tests = self._failed_tests.setdefault(param, set())
+            tests.add(test_name)
+            if len(tests) >= self.threshold:
+                self.blacklisted.add(param)
 
     def failure_count(self, param: str) -> int:
-        return len(self._failed_tests.get(param, set()))
+        with self._lock:
+            return len(self._failed_tests.get(param, set()))
 
     def allowed(self, param: str) -> bool:
-        return param not in self.blacklisted
+        with self._lock:
+            return param not in self.blacklisted
 
 
 @dataclass
@@ -74,12 +85,17 @@ class PooledTester:
 
     def __init__(self, runner: TestRunner,
                  tracker: Optional[FrequentFailureTracker] = None,
-                 max_pool_size: Optional[int] = None) -> None:
+                 max_pool_size: Optional[int] = None,
+                 on_result: Optional[Callable[[InstanceResult], None]] = None
+                 ) -> None:
         self.runner = runner
         self.tracker = tracker if tracker is not None else FrequentFailureTracker()
         #: None reproduces the paper's setting: "we set the maximal pool
         #: size to be equal to the number of parameters".
         self.max_pool_size = max_pool_size
+        #: invoked with each InstanceResult the moment it is produced
+        #: (campaign checkpoints journal through this).
+        self.on_result = on_result
         self.stats = PoolStats()
         #: test full name -> parameters already confirmed unsafe on it;
         #: once a parameter is confirmed for a unit test, its remaining
@@ -125,6 +141,8 @@ class PooledTester:
             if result.verdict == CONFIRMED_UNSAFE:
                 confirmed_here.add(param)
                 self.tracker.record_unsafe(param, test.full_name)
+            if self.on_result is not None:
+                self.on_result(result)
             return [result]
 
         assignment = HeteroAssignment(tuple(units))

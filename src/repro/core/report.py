@@ -63,6 +63,12 @@ class AppReport:
     blacklisted: Tuple[str, ...]
     executions: int
     machine_time_s: float
+    #: fault kind -> injections performed, when a chaos plan was active.
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+    #: infrastructure-error retries burned across all executions.
+    infra_retries_performed: int = 0
+    #: tests whose profile run crashed and was contained (not aborted).
+    degraded_tests: Tuple[str, ...] = ()
 
     @property
     def reported_params(self) -> List[str]:
@@ -184,6 +190,11 @@ def app_report_to_dict(report: AppReport) -> Dict[str, object]:
             "singleton_instances": report.pool_stats.singleton_instances,
             "pools_cleared": report.pool_stats.pools_cleared,
             "blacklist_skips": report.pool_stats.blacklist_skips,
+        },
+        "resilience": {
+            "fault_counts": dict(sorted(report.fault_counts.items())),
+            "infra_retries_performed": report.infra_retries_performed,
+            "degraded_tests": list(report.degraded_tests),
         },
     }
 

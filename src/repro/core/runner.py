@@ -18,8 +18,11 @@ from __future__ import annotations
 import random
 import zlib
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro.common.errors import InfrastructureError
+from repro.common.faults import FaultInjector, FaultPlan, fault_scope
+from repro.common.simulation import SimTimeLimitExceeded, sim_time_limit
 from repro.core.confagent import ConfAgent
 from repro.core.registry import TestContext, UnitTest
 from repro.core.stats import DEFAULT_ALPHA, TrialTally
@@ -31,6 +34,15 @@ BASELINE_FAIL = "baseline-fail"          # a homogeneous side also fails
 SUSPICIOUS = "suspicious"                # first trial pattern matched
 CONFIRMED_UNSAFE = "confirmed-unsafe"    # hypothesis test significant
 FLAKY_DISMISSED = "flaky-dismissed"      # hypothesis test filtered it
+INFRA_ERROR = "infra-error"              # harness failed even after retries
+
+#: default simulated-time budget per execution: generous (a month of
+#: cluster time) so only genuinely runaway tests trip it.
+DEFAULT_WATCHDOG_SIM_S = 30 * 24 * 3600.0
+
+#: base of the exponential backoff charged (in modelled machine seconds)
+#: before an infrastructure-error retry.
+INFRA_BACKOFF_BASE_S = 5.0
 
 
 @dataclass
@@ -40,6 +52,15 @@ class RunOutcome:
     ok: bool
     error_type: str = ""
     error_message: str = ""
+    #: the simulated-time watchdog killed the execution.
+    timed_out: bool = False
+    #: the failure was infrastructural (harness/environment), not the
+    #: test oracle — never evidence of heterogeneous unsafety.
+    infra: bool = False
+    #: infra-error retries burned before this outcome was produced.
+    retries: int = 0
+    #: discrete faults injected during this execution.
+    faults: int = 0
 
     @property
     def failed(self) -> bool:
@@ -71,7 +92,11 @@ class TestRunner:
     """Executes unit tests under ConfAgent sessions and renders verdicts."""
 
     def __init__(self, alpha: float = DEFAULT_ALPHA, max_trials: int = 40,
-                 run_cost_s: float = 60.0) -> None:
+                 run_cost_s: float = 60.0,
+                 fault_plan: Optional[FaultPlan] = None,
+                 infra_retries: int = 2,
+                 watchdog_sim_s: float = DEFAULT_WATCHDOG_SIM_S,
+                 trace: Optional[Any] = None) -> None:
         self.alpha = alpha
         self.max_trials = max_trials
         #: charged per execution when estimating machine time; the paper's
@@ -79,24 +104,103 @@ class TestRunner:
         #: must boot — ours run in simulated time, so machine-time figures
         #: are (executions x run_cost_s).
         self.run_cost_s = run_cost_s
+        #: chaos schedule applied to every execution (None = clean runs).
+        self.fault_plan = (fault_plan
+                           if fault_plan is not None and fault_plan.active
+                           else None)
+        #: bounded retry budget for *infrastructure* errors only; oracle
+        #: failures are data and are never retried outside the §5 loop.
+        self.infra_retries = max(infra_retries, 0)
+        #: simulated-seconds budget per execution (the TEST_TIMEOUT cap).
+        self.watchdog_sim_s = watchdog_sim_s
+        #: optional repro.core.tracelog.TraceLog for fault/retry events.
+        self.trace = trace
         self.executions = 0
+        self.retries_performed = 0
+        #: fault kind -> total injections across all executions.
+        self.fault_counts: Dict[str, int] = {}
+        #: extra modelled machine seconds charged by retry backoff.
+        self.backoff_cost_s = 0.0
 
     # ------------------------------------------------------------------
     # single execution
     # ------------------------------------------------------------------
     def execute(self, test: UnitTest, assignment: Optional[Any],
                 seed: int) -> RunOutcome:
-        """Run one unit test once under ``assignment`` (None = original)."""
+        """Run one unit test once under ``assignment`` (None = original).
+
+        Crash containment: the watchdog bounds simulated time, oracle
+        failures (any exception from the test body) are data, and
+        infrastructure errors are retried with exponential backoff up to
+        ``infra_retries`` times before being reported as infrastructural.
+        """
+        outcome = self._execute_once(test, assignment, seed, attempt=0)
+        attempt = 0
+        while outcome.infra and attempt < self.infra_retries:
+            attempt += 1
+            backoff = INFRA_BACKOFF_BASE_S * (2 ** (attempt - 1))
+            self.backoff_cost_s += backoff
+            self.retries_performed += 1
+            if self.trace is not None:
+                self.trace.emit("retry", test=test.full_name, seed=seed,
+                                attempt=attempt, backoff_s=backoff,
+                                error=outcome.error_message)
+            outcome = self._execute_once(test, assignment, seed,
+                                         attempt=attempt)
+            outcome.retries = attempt
+        return outcome
+
+    def _execute_once(self, test: UnitTest, assignment: Optional[Any],
+                      seed: int, attempt: int) -> RunOutcome:
         self.executions += 1
         agent = ConfAgent(assignment=assignment, record_usage=False)
         ctx = TestContext(rng=random.Random(seed), trial=seed)
-        with agent:
-            try:
+        injector = self._injector(test, seed, attempt)
+        try:
+            with agent, fault_scope(injector), \
+                    sim_time_limit(self.watchdog_sim_s):
+                if injector is not None:
+                    injector.check_infra("setup")
                 test.fn(ctx)
-            except Exception as exc:  # noqa: BLE001 - oracle: any exception
-                return RunOutcome(ok=False, error_type=type(exc).__name__,
-                                  error_message=str(exc))
-        return RunOutcome(ok=True)
+        except SimTimeLimitExceeded as exc:
+            outcome = RunOutcome(ok=False, error_type="TestTimeout",
+                                 error_message=str(exc), timed_out=True)
+        except InfrastructureError as exc:
+            outcome = RunOutcome(ok=False, error_type=type(exc).__name__,
+                                 error_message=str(exc), infra=True)
+        except Exception as exc:  # noqa: BLE001 - oracle: any exception
+            outcome = RunOutcome(ok=False, error_type=type(exc).__name__,
+                                 error_message=str(exc))
+        else:
+            outcome = RunOutcome(ok=True)
+        outcome.faults = self._collect_faults(injector)
+        return outcome
+
+    def _injector(self, test: UnitTest, seed: int,
+                  attempt: int) -> Optional[FaultInjector]:
+        if self.fault_plan is None:
+            return None
+        on_fault = None
+        if self.trace is not None:
+            trace = self.trace
+
+            def on_fault(kind: str, data: Dict[str, Any]) -> None:
+                trace.emit("fault", test=test.full_name, seed=seed,
+                           attempt=attempt, fault=kind, **data)
+
+        # Each (execution, attempt) draws its own schedule so hetero and
+        # homo trials are hit independently and retries are not doomed to
+        # repeat an injected infrastructure failure.
+        return FaultInjector(self.fault_plan,
+                             stable_seed(self.fault_plan.seed, seed, attempt),
+                             on_fault=on_fault)
+
+    def _collect_faults(self, injector: Optional[FaultInjector]) -> int:
+        if injector is None:
+            return 0
+        for kind, count in injector.counts.items():
+            self.fault_counts[kind] = self.fault_counts.get(kind, 0) + count
+        return injector.total_faults
 
     # ------------------------------------------------------------------
     # Definition 3.1 first trial
@@ -119,6 +223,14 @@ class TestRunner:
         start = self.executions
         label = instance.describe()
         hetero, homos = self.first_trial(instance.test, instance.assignment, label)
+        if hetero.infra or any(h.infra for h in homos):
+            # The harness, not the configuration, failed — even after the
+            # bounded retries.  Contained: reported as INFRA_ERROR, never
+            # counted as heterogeneous-unsafe evidence.
+            infra_error = (hetero.error_message if hetero.infra else
+                           next(h.error_message for h in homos if h.infra))
+            return self._done(instance, INFRA_ERROR, start,
+                              hetero_error=infra_error)
         if hetero.ok:
             return self._done(instance, PASS, start)
         if any(h.failed for h in homos):
@@ -139,18 +251,27 @@ class TestRunner:
         for outcome in first_homos:
             tally.record_homo(outcome.failed)
         trial = 1
+        void_trials = 0
         sides = assignment.sides()
         while (not tally.significant(self.alpha)
                and tally.hetero_trials < self.max_trials
                and not tally.hopeless(self.alpha, self.max_trials)):
             hetero = self.execute(test, assignment,
                                   stable_seed(test.full_name, label, "hetero", trial))
-            tally.record_hetero(hetero.failed)
             side = trial % sides
             homo = self.execute(test, assignment.homo_variant(side),
                                 stable_seed(test.full_name, label, "homo", side, trial))
-            tally.record_homo(homo.failed)
             trial += 1
+            if hetero.infra or homo.infra:
+                # A persistent harness failure is not evidence either way;
+                # the trial is void, with a bound so confirmation cannot
+                # spin against a dead environment.
+                void_trials += 1
+                if void_trials >= self.max_trials:
+                    break
+                continue
+            tally.record_hetero(hetero.failed)
+            tally.record_homo(homo.failed)
         return tally
 
     # ------------------------------------------------------------------
@@ -163,4 +284,4 @@ class TestRunner:
     # ------------------------------------------------------------------
     @property
     def machine_time_s(self) -> float:
-        return self.executions * self.run_cost_s
+        return self.executions * self.run_cost_s + self.backoff_cost_s

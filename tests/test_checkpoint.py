@@ -1,0 +1,181 @@
+"""Checkpoint/resume: journal round-trips and campaign equivalence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.checkpoint import (CampaignCheckpoint, CheckpointError,
+                                   result_from_dict, result_to_dict)
+from repro.core.orchestrator import Campaign, CampaignConfig
+from repro.core.pooling import PoolStats
+from repro.core.registry import UnitTest
+from repro.core.report import app_report_to_dict
+from repro.core.runner import CONFIRMED_UNSAFE, TestRunner
+from repro.core.testgen import HeteroAssignment, ParamAssignment, TestInstance
+from synthetic_app import SYNTH_REGISTRY, two_service_test
+
+
+def counting_tests(counters, count=5):
+    """Synthetic corpus whose bodies count their own executions, so a
+    resumed campaign can prove it did not re-run journaled tests."""
+    tests = []
+    for index in range(count):
+        name = "TestCk.testExchange%02d" % index
+        base = two_service_test(name=name)
+
+        def body(ctx, _name=name, _fn=base.fn):
+            counters[_name] = counters.get(_name, 0) + 1
+            _fn(ctx)
+
+        tests.append(UnitTest(app="synth", name=name, fn=body))
+    return tests
+
+
+def campaign(tests, **config_kwargs):
+    return Campaign("synth", SYNTH_REGISTRY, tests=tests,
+                    config=CampaignConfig(**config_kwargs))
+
+
+def evaluated_result():
+    assignment = HeteroAssignment((ParamAssignment(
+        param="synth.mode", group="Service", group_values=(True, False),
+        other_value=False, pinned=(("synth.safe-a", 1),)),))
+    instance = TestInstance(test=two_service_test(), group="Service",
+                            strategy="round-robin", assignment=assignment)
+    return TestRunner().evaluate(instance)
+
+
+class TestResultRoundTrip:
+    def test_round_trip_preserves_everything(self):
+        result = evaluated_result()
+        assert result.verdict == CONFIRMED_UNSAFE
+        record = json.loads(json.dumps(result_to_dict(result)))
+        tests = {result.instance.test.full_name: result.instance.test}
+        restored = result_from_dict(record, tests)
+        assert restored.verdict == result.verdict
+        assert restored.hetero_error == result.hetero_error
+        assert restored.executions == result.executions
+        assert restored.instance.group == result.instance.group
+        assert restored.instance.strategy == result.instance.strategy
+        assert restored.instance.assignment == result.instance.assignment
+        assert restored.instance.test is result.instance.test
+        assert restored.tally is not None
+        assert restored.tally.p_value() == result.tally.p_value()
+
+    def test_unknown_test_is_refused(self):
+        record = result_to_dict(evaluated_result())
+        with pytest.raises(CheckpointError):
+            result_from_dict(record, {})
+
+
+class TestJournal:
+    def test_persists_across_instances(self, tmp_path):
+        path = str(tmp_path / "ck.jsonl")
+        result = evaluated_result()
+        first = CampaignCheckpoint(path)
+        first.load()
+        first.record_instance(result)
+        first.record_test_done(result.instance.test.full_name, [result],
+                               PoolStats(), executions=9,
+                               fault_counts={"drop": 2}, retries=1)
+        second = CampaignCheckpoint(path)
+        assert second.load() == 1
+        name = result.instance.test.full_name
+        assert second.has_test(name)
+        tests = {name: result.instance.test}
+        results, stats, executions, faults, retries, error = \
+            second.restore_test(name, tests)
+        assert len(results) == 1 and results[0].verdict == result.verdict
+        assert executions == 9 and faults == {"drop": 2} and retries == 1
+        assert error == ""
+
+    def test_torn_tail_line_is_discarded(self, tmp_path):
+        path = str(tmp_path / "ck.jsonl")
+        checkpoint = CampaignCheckpoint(path)
+        result = evaluated_result()
+        checkpoint.record_test_done("synth::a", [result], PoolStats(), 1)
+        with open(path, "a") as handle:
+            handle.write('{"kind": "test-done", "test": "synth::b", "tru')
+        fresh = CampaignCheckpoint(path)
+        assert fresh.load() == 1
+        assert fresh.has_test("synth::a") and not fresh.has_test("synth::b")
+
+    def test_partial_instances_do_not_count_as_done(self, tmp_path):
+        path = str(tmp_path / "ck.jsonl")
+        checkpoint = CampaignCheckpoint(path)
+        checkpoint.record_instance(evaluated_result())
+        fresh = CampaignCheckpoint(path)
+        assert fresh.load() == 0
+        assert "synth::TestSynth.testExchange" in fresh.partial_tests
+
+    def test_header_mismatch_is_refused(self, tmp_path):
+        path = str(tmp_path / "ck.jsonl")
+        checkpoint = CampaignCheckpoint(path)
+        checkpoint.load()
+        checkpoint.check_header("synth", {"alpha": 1e-4})
+        resumed = CampaignCheckpoint(path)
+        resumed.load()
+        resumed.check_header("synth", {"alpha": 1e-4})  # same: fine
+        with pytest.raises(CheckpointError):
+            resumed.check_header("synth", {"alpha": 0.05})
+
+
+class TestCampaignResume:
+    def run_interrupted_then_resume(self, tmp_path, keep_done):
+        """Full run -> cut the journal after ``keep_done`` tests -> resume."""
+        path = str(tmp_path / "campaign.jsonl")
+        baseline_counters = {}
+        full = campaign(counting_tests(baseline_counters),
+                        checkpoint_path=path).run()
+
+        kept, done = [], 0
+        for line in open(path):
+            record = json.loads(line)
+            if record["kind"] == "test-done":
+                done += 1
+                if done > keep_done:
+                    continue
+            kept.append(line)
+        assert done == 5
+        with open(path, "w") as handle:
+            handle.writelines(kept)
+
+        resume_counters = {}
+        resumed = campaign(counting_tests(resume_counters),
+                           checkpoint_path=path).run()
+        return full, resumed, resume_counters
+
+    def test_resume_reproduces_the_uninterrupted_report(self, tmp_path):
+        full, resumed, _ = self.run_interrupted_then_resume(tmp_path, 2)
+        assert app_report_to_dict(resumed) == app_report_to_dict(full)
+
+    def test_resume_skips_journaled_tests(self, tmp_path):
+        _, _, counters = self.run_interrupted_then_resume(tmp_path, 3)
+        # every test executes once in the pre-run; only non-journaled
+        # tests execute beyond that on resume.
+        skipped = [n for n, c in sorted(counters.items()) if c == 1]
+        assert len(skipped) == 3
+
+    def test_checkpointing_does_not_change_results(self, tmp_path):
+        plain = campaign(counting_tests({})).run()
+        journaled = campaign(counting_tests({}),
+                             checkpoint_path=str(tmp_path / "ck.jsonl")).run()
+        assert app_report_to_dict(journaled) == app_report_to_dict(plain)
+
+    def test_config_change_between_runs_is_refused(self, tmp_path):
+        path = str(tmp_path / "ck.jsonl")
+        campaign(counting_tests({}), checkpoint_path=path).run()
+        with pytest.raises(CheckpointError):
+            campaign(counting_tests({}), checkpoint_path=path,
+                     max_trials=13).run()
+
+    def test_fully_journaled_campaign_resumes_without_running(self, tmp_path):
+        path = str(tmp_path / "ck.jsonl")
+        first = campaign(counting_tests({}), checkpoint_path=path).run()
+        counters = {}
+        second = campaign(counting_tests(counters),
+                          checkpoint_path=path).run()
+        assert app_report_to_dict(second) == app_report_to_dict(first)
+        assert all(count == 1 for count in counters.values())  # pre-run only

@@ -56,6 +56,13 @@ class TestRunnableExamples:
         assert "collapse factor" in out
         assert "BALANCER TIMEOUT" in out
 
+    @pytest.mark.chaos
+    def test_chaos_campaign(self, capsys):
+        load_example("chaos_campaign").main()
+        out = capsys.readouterr().out
+        assert "byte-identical chaos report" in out
+        assert "reproduces the uninterrupted report" in out
+
     def test_ci_regression_gate(self, capsys):
         load_example("ci_regression_gate").main()
         out = capsys.readouterr().out

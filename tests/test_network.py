@@ -139,3 +139,31 @@ class TestTimedWait:
             sim.run_process(body())
         sim.run()  # the late succeed must not surface as a crash
         assert sim.crashed_processes == []
+
+    def test_early_win_cancels_deadline_timer(self):
+        """The losing deadline must not linger: timed_wait used to leak a
+        watcher process plus a live deadline timer per resolved race."""
+        sim = Simulator()
+        event = sim.event()
+        sim.schedule(1.0, event.succeed, "data")
+
+        def body():
+            value = yield from timed_wait(sim, event, timeout=1000.0)
+            return value
+
+        assert sim.run_process(body()) == "data"
+        assert sim.pending_events() == 0
+
+    def test_many_races_leave_no_residue(self):
+        sim = Simulator()
+
+        def one_race(index):
+            event = sim.event()
+            sim.schedule(0.5, event.succeed, index)
+            value = yield from timed_wait(sim, event, timeout=60.0)
+            return value
+
+        for index in range(50):
+            assert sim.run_process(one_race(index)) == index
+        assert sim.pending_events() == 0
+        assert sim.crashed_processes == []
