@@ -66,10 +66,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workers", type=int, default=1,
-                        help="parallel worker threads (default 1; unit "
-                             "tests are CPU-bound simulations, so threads "
-                             "mainly demonstrate independence — fan out "
-                             "across processes/machines for real speedup)")
+                        help="parallel workers (default 1); combine with "
+                             "--parallel-backend process for real speedup "
+                             "on the CPU-bound simulations")
+    parser.add_argument("--parallel-backend", choices=("thread", "process"),
+                        default="thread",
+                        help="how --workers fans out unit-test profiles: "
+                             "GIL-bound threads (default) or forked "
+                             "processes (true parallelism)")
+    parser.add_argument("--exec-cache", action="store_true",
+                        help="memoize executions in a content-addressed "
+                             "cache, so identical homogeneous baselines and "
+                             "repeated confirmation/pool runs execute once; "
+                             "verdicts are byte-identical either way")
     parser.add_argument("--pool-size", type=int, default=None,
                         help="max pooled parameters per run "
                              "(default: all, the paper's setting)")
@@ -163,7 +172,9 @@ def _config(args: argparse.Namespace) -> CampaignConfig:
                             trace=TraceLog() if args.trace else None,
                             fault_plan=_fault_plan(args),
                             checkpoint_path=args.checkpoint,
-                            infra_retries=args.infra_retries)
+                            infra_retries=args.infra_retries,
+                            exec_cache=args.exec_cache,
+                            parallel_backend=args.parallel_backend)
     if args.watchdog is not None:
         config.watchdog_sim_s = args.watchdog
     return config

@@ -44,10 +44,15 @@ from repro.common.errors import InfrastructureError
 
 def fault_seed(*parts: Any) -> int:
     """Deterministic seed from identifying strings/ints (crc32, like
-    :func:`repro.core.runner.stable_seed`; duplicated here because the
-    common substrate must not import the core layer)."""
-    text = "|".join(str(p) for p in parts)
-    return zlib.crc32(text.encode("utf-8"))
+    :func:`repro.core.execcache.stable_seed`; duplicated here because the
+    common substrate must not import the core layer).  Parts are
+    length-prefixed so distinct part tuples never join to the same byte
+    stream (``("a|b", "c")`` vs ``("a", "b|c")``)."""
+    pieces = []
+    for part in parts:
+        text = str(part)
+        pieces.append("%d:%s" % (len(text), text))
+    return zlib.crc32("".join(pieces).encode("utf-8"))
 
 
 @dataclass(frozen=True)

@@ -144,6 +144,11 @@ class ConfAgent:
         self.usage: Dict[str, Set[str]] = {}
         #: params read through uncertain conf objects.
         self.uncertain_params: Set[str] = set()
+        #: params the test execution explicitly ``set`` on any conf.  An
+        #: injected value shadows explicit sets in ``Configuration.get``,
+        #: so the execution cache's homogeneous default-value collapse
+        #: must exempt these (see repro.core.execcache).
+        self.set_params: Set[str] = set()
         #: count of get() calls answered with an injected value.
         self.injected_reads = 0
 
@@ -306,6 +311,7 @@ class ConfAgent:
         the reference with a clone, values the node fills in must still be
         visible to the unit test through its original object.
         """
+        self.set_params.add(name)
         conf_id = id(conf)
         for rec in self.node_table.values():
             if conf_id in rec.conf_ids and rec.parent_conf_id is not None:

@@ -10,14 +10,15 @@ fan out across a thread pool (the paper used up to 100 machines; §4
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.common.faults import FaultPlan
 from repro.common.node import NODE_TYPES
 from repro.common.params import ParamRegistry
 from repro.core.confagent import UNIT_TEST
 from repro.core.checkpoint import CampaignCheckpoint
+from repro.core.execcache import ExecutionCache
 from repro.core.pooling import FrequentFailureTracker, PooledTester, PoolStats
 from repro.core.prerun import PreRunSummary, TestProfile, prerun_corpus
 from repro.core.registry import CORPUS, Corpus, UnitTest
@@ -60,6 +61,13 @@ class CampaignConfig:
     infra_retries: int = 2
     #: simulated-seconds budget per execution before TEST_TIMEOUT.
     watchdog_sim_s: float = DEFAULT_WATCHDOG_SIM_S
+    #: memoize executions in a content-addressed cache (see
+    #: repro.core.execcache); verdicts are byte-identical either way.
+    exec_cache: bool = False
+    #: how ``workers > 1`` fans out profiles: "thread" (GIL-bound, cheap)
+    #: or "process" (fork-based, true parallelism over the pure-Python
+    #: simulation).  Ignored at workers == 1.
+    parallel_backend: str = "thread"
 
     def param_allowed(self, name: str) -> bool:
         return self.only_params is None or name in self.only_params
@@ -79,6 +87,10 @@ class CampaignConfig:
                            else asdict(self.fault_plan)),
             "infra_retries": self.infra_retries,
             "watchdog_sim_s": self.watchdog_sim_s,
+            # Cache mode is part of the header: a journal written with the
+            # cache on records content-derived dedup in its counters, and a
+            # resume that silently flipped the mode would mix them.
+            "exec_cache": self.exec_cache,
         }
 
 
@@ -113,6 +125,8 @@ class Campaign:
                                        dependency_rules=dependency_rules,
                                        max_value_pairs=self.config.max_value_pairs)
         self.tracker = FrequentFailureTracker(self.config.blacklist_threshold)
+        #: per-run execution cache (built in _run when config.exec_cache).
+        self._cache: Optional[ExecutionCache] = None
 
     # ------------------------------------------------------------------
     def run(self) -> AppReport:
@@ -128,6 +142,11 @@ class Campaign:
         usable = [p for p in profiles if p.usable]
         stage_counts = self._stage_counts(profiles, usable)
         checkpoint = self._open_checkpoint()
+        self._cache = self._build_cache()
+        # Built once per run: checkpoint restore and the process backend
+        # both need it, and rebuilding it per restored profile made large
+        # resumes quadratic.
+        tests_by_name = {t.full_name: t for t in self.tests}
 
         # Partition tests into already-journaled (restore + replay their
         # blacklist effects) and still-pending (run for real).  Outcomes
@@ -139,12 +158,20 @@ class Campaign:
         for profile in usable:
             name = profile.test.full_name
             if checkpoint is not None and checkpoint.has_test(name):
-                outcome = self._restore_profile(checkpoint, name)
+                outcome = self._restore_profile(checkpoint, name,
+                                                tests_by_name)
                 outcome_by_test[name] = outcome
             else:
                 pending.append(profile)
 
-        if self.config.workers > 1:
+        backend = self.config.parallel_backend
+        if backend not in ("thread", "process"):
+            raise ValueError("unknown parallel backend %r" % backend)
+        if self.config.workers > 1 and backend == "process" and pending:
+            from repro.core.parallel import run_profiles_in_processes
+            fresh = run_profiles_in_processes(self, pending, checkpoint,
+                                              tests_by_name)
+        elif self.config.workers > 1:
             with ThreadPoolExecutor(max_workers=self.config.workers) as pool:
                 fresh = list(pool.map(
                     lambda p: self._run_profile_contained(p, checkpoint),
@@ -191,7 +218,25 @@ class Campaign:
             machine_time_s=executions * self.config.run_cost_s,
             fault_counts=dict(sorted(fault_counts.items())),
             infra_retries_performed=retries,
-            degraded_tests=tuple(degraded))
+            degraded_tests=tuple(degraded),
+            exec_cache_enabled=self.config.exec_cache)
+
+    # ------------------------------------------------------------------
+    # execution cache
+    # ------------------------------------------------------------------
+    def _build_cache(self) -> Optional[ExecutionCache]:
+        """A fresh per-run cache keyed by everything that shapes a single
+        execution's behaviour (so stale outcomes can never be served)."""
+        if not self.config.exec_cache:
+            return None
+        return ExecutionCache(context={
+            "app": self.app,
+            "fault_plan": (None if self.config.fault_plan is None
+                           else asdict(self.config.fault_plan)),
+            "watchdog_sim_s": self.config.watchdog_sim_s,
+            "infra_retries": self.config.infra_retries,
+            "disable_ipc_sharing": self.config.disable_ipc_sharing,
+        })
 
     # ------------------------------------------------------------------
     # checkpoint/resume
@@ -210,9 +255,9 @@ class Campaign:
                        partial_tests=sorted(checkpoint.partial_tests))
         return checkpoint
 
-    def _restore_profile(self, checkpoint: CampaignCheckpoint,
-                         name: str) -> ProfileOutcome:
-        tests_by_name = {t.full_name: t for t in self.tests}
+    def _restore_profile(self, checkpoint: CampaignCheckpoint, name: str,
+                         tests_by_name: Mapping[str, UnitTest]
+                         ) -> ProfileOutcome:
         (results, stats, executions, fault_counts, retries,
          error) = checkpoint.restore_test(name, tests_by_name)
         # Replay blacklist bookkeeping: confirmations from journaled
@@ -295,34 +340,53 @@ class Campaign:
                             fault_plan=self.config.fault_plan,
                             infra_retries=self.config.infra_retries,
                             watchdog_sim_s=self.config.watchdog_sim_s,
-                            trace=self.config.trace)
+                            trace=self.config.trace,
+                            registry=self.registry,
+                            cache=self._cache,
+                            collapse_exclude=profile.explicit_sets)
         on_result = None if checkpoint is None else checkpoint.record_instance
         tester = PooledTester(runner, tracker=self.tracker,
                               max_pool_size=self.config.max_pool_size,
                               on_result=on_result)
         results: List[InstanceResult] = []
-        for group in sorted(profile.groups):
-            group_size = profile.groups[group]
-            params = sorted(name for name in profile.testable_params(group)
-                            if name in self.registry
-                            and self.config.param_allowed(name))
-            if not params:
-                continue
-            pairs_by_param = {name: self.generator.value_pairs(self.registry.get(name))
-                              for name in params}
-            layers = max((len(p) for p in pairs_by_param.values()), default=0)
-            for strategy in self.generator.strategies_for_group(group_size):
-                for layer in range(layers):
-                    units = [self.generator.assignment(
-                                 self.registry.get(name), group, strategy,
-                                 pairs_by_param[name][layer])
-                             for name in params
-                             if layer < len(pairs_by_param[name])]
-                    results.extend(tester.run(profile.test, group, strategy, units))
-        return ProfileOutcome(results=results, stats=tester.stats,
+        error = ""
+        try:
+            for group in sorted(profile.groups):
+                group_size = profile.groups[group]
+                params = sorted(name for name in profile.testable_params(group)
+                                if name in self.registry
+                                and self.config.param_allowed(name))
+                if not params:
+                    continue
+                pairs_by_param = {name: self.generator.value_pairs(self.registry.get(name))
+                                  for name in params}
+                layers = max((len(p) for p in pairs_by_param.values()), default=0)
+                for strategy in self.generator.strategies_for_group(group_size):
+                    for layer in range(layers):
+                        units = [self.generator.assignment(
+                                     self.registry.get(name), group, strategy,
+                                     pairs_by_param[name][layer])
+                                 for name in params
+                                 if layer < len(pairs_by_param[name])]
+                        results.extend(tester.run(profile.test, group, strategy, units))
+        except Exception as exc:  # noqa: BLE001 - graceful degradation
+            # The profile degrades, but the machine time it burned is
+            # real: keep the partial runner's executions, fault counts,
+            # and retries in the outcome instead of dropping them.
+            error = "%s: %s" % (type(exc).__name__, exc)
+            trace = self.config.trace
+            if trace is not None:
+                trace.emit("test-error", app=self.app,
+                           test=profile.test.full_name, error=error)
+        stats = tester.stats
+        stats.exec_cache_hits += runner.cache_hits
+        stats.exec_cache_misses += runner.cache_misses
+        stats.exec_cache_bypasses += runner.cache_bypasses
+        return ProfileOutcome(results=results, stats=stats,
                               executions=runner.executions,
                               fault_counts=dict(runner.fault_counts),
-                              retries=runner.retries_performed)
+                              retries=runner.retries_performed,
+                              error=error)
 
     # ------------------------------------------------------------------
     def _stage_counts(self, profiles: Sequence[TestProfile],
@@ -349,13 +413,12 @@ class Campaign:
 # helpers
 # ---------------------------------------------------------------------------
 def _merge_stats(into: PoolStats, other: PoolStats) -> None:
-    into.pool_runs += other.pool_runs
-    into.bisection_runs += other.bisection_runs
-    into.singleton_instances += other.singleton_instances
-    into.pools_cleared += other.pools_cleared
-    into.params_cleared_in_pools += other.params_cleared_in_pools
-    into.interference_events += other.interference_events
-    into.blacklist_skips += other.blacklist_skips
+    # Field-generic so new PoolStats counters can never be silently
+    # dropped from the campaign roll-up again (already_confirmed_skips
+    # was, before this).
+    for spec in fields(PoolStats):
+        setattr(into, spec.name,
+                getattr(into, spec.name) + getattr(other, spec.name))
 
 
 def _hypothesis_stats(results: Sequence[InstanceResult]) -> HypothesisTestingStats:

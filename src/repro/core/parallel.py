@@ -1,0 +1,161 @@
+"""Process-backed profile scheduler: true parallelism for campaigns.
+
+``CampaignConfig.workers`` originally fanned profiles over a
+``ThreadPoolExecutor``, which models the paper's testbed but speeds
+nothing up: the simulation is pure Python, so the GIL serializes the
+actual work.  This module fans the same parallelism granule — one unit
+test's whole profile — over *processes* instead.
+
+Design constraints and how they are met:
+
+* **No pickling of live campaign state.**  The pool uses the ``fork``
+  start method, and workers find the campaign through the module-global
+  :data:`_WORKER_STATE` set just before the pool is created, so children
+  inherit registries, corpora, and profiles by copy-on-write instead of
+  serialization.  Only unit-test *names* cross the pipe going in, and
+  JSON-able result dicts (the checkpoint wire format) cross coming back.
+* **Shared-state writes happen in the parent.**  A forked child's
+  :class:`FrequentFailureTracker` and checkpoint journal are private
+  copies, so the parent replays each returned profile's confirmed-unsafe
+  results into the real tracker and writes the authoritative
+  ``test-done`` journal records itself, in submission order.  Blacklist
+  propagation *between* concurrently running profiles is therefore
+  backend-dependent — exactly as it already is for threads, where it
+  depends on scheduling order.
+* **Trace logs stay parent-only.**  A forked TraceLog would interleave
+  half-written lines from many processes into one file descriptor, so
+  the worker initializer disables tracing in the child; per-profile
+  counters still flow back through :class:`ProfileOutcome`.
+* **Graceful fallback.**  Platforms without ``fork`` (Windows, some
+  sandboxes) silently degrade to the thread backend rather than failing
+  the campaign.
+
+Each child inherits a fork-time snapshot of the execution cache
+(normally empty) and keeps a private cache across the profiles it owns;
+cache keys include the unit-test name, so per-child caches lose no
+cross-profile sharing the thread backend would have had for the same
+profile set.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import asdict
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.core.checkpoint import result_from_dict, result_to_dict
+from repro.core.pooling import PoolStats
+from repro.core.registry import UnitTest
+
+#: Set by the parent immediately before forking the pool:
+#: ``{"campaign": Campaign, "profiles": {test name: TestProfile}}``.
+_WORKER_STATE: Dict[str, Any] = {}
+
+
+# ---------------------------------------------------------------------------
+# ProfileOutcome <-> JSON-able dict (the checkpoint wire format)
+# ---------------------------------------------------------------------------
+def profile_outcome_to_dict(outcome: Any) -> Dict[str, Any]:
+    return {
+        "results": [result_to_dict(r) for r in outcome.results],
+        "pool_stats": asdict(outcome.stats),
+        "executions": outcome.executions,
+        "fault_counts": dict(outcome.fault_counts),
+        "retries": outcome.retries,
+        "error": outcome.error,
+    }
+
+
+def profile_outcome_from_dict(record: Mapping[str, Any],
+                              tests_by_name: Mapping[str, UnitTest]) -> Any:
+    from repro.core.orchestrator import ProfileOutcome
+    return ProfileOutcome(
+        results=[result_from_dict(r, tests_by_name)
+                 for r in record["results"]],
+        stats=PoolStats(**record["pool_stats"]),
+        executions=int(record["executions"]),
+        fault_counts={str(k): int(v)
+                      for k, v in record["fault_counts"].items()},
+        retries=int(record["retries"]),
+        error=str(record["error"]))
+
+
+# ---------------------------------------------------------------------------
+# child-side entry points
+# ---------------------------------------------------------------------------
+def _worker_init() -> None:
+    """Runs once per forked child: detach shared output channels."""
+    campaign = _WORKER_STATE.get("campaign")
+    if campaign is not None:
+        campaign.config.trace = None
+
+
+def _run_profile_worker(test_name: str) -> Dict[str, Any]:
+    campaign = _WORKER_STATE["campaign"]
+    profile = _WORKER_STATE["profiles"][test_name]
+    try:
+        # checkpoint=None: journaling is the parent's job (the child's
+        # journal object is a useless fork copy and concurrent appends
+        # from many processes would tear the file).
+        outcome = campaign._run_test_profile(profile, checkpoint=None)
+    except Exception as exc:  # noqa: BLE001 - degrade, never kill the pool
+        from repro.core.orchestrator import ProfileOutcome
+        outcome = ProfileOutcome(error="%s: %s" % (type(exc).__name__, exc))
+    return profile_outcome_to_dict(outcome)
+
+
+# ---------------------------------------------------------------------------
+# parent-side scheduler
+# ---------------------------------------------------------------------------
+def fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def run_profiles_in_processes(campaign: Any, profiles: Sequence[Any],
+                              checkpoint: Optional[Any],
+                              tests_by_name: Mapping[str, UnitTest]
+                              ) -> List[Any]:
+    """Run ``profiles`` across ``campaign.config.workers`` processes.
+
+    Returns outcomes aligned with ``profiles``; tracker replay and
+    checkpoint journaling happen here, in the parent, in profile order.
+    """
+    from repro.core.runner import CONFIRMED_UNSAFE
+
+    if not fork_available():
+        with ThreadPoolExecutor(max_workers=campaign.config.workers) as pool:
+            return list(pool.map(
+                lambda p: campaign._run_profile_contained(p, checkpoint),
+                profiles))
+
+    names = [p.test.full_name for p in profiles]
+    _WORKER_STATE["campaign"] = campaign
+    _WORKER_STATE["profiles"] = {p.test.full_name: p for p in profiles}
+    try:
+        context = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(max_workers=campaign.config.workers,
+                                 mp_context=context,
+                                 initializer=_worker_init) as pool:
+            records = list(pool.map(_run_profile_worker, names))
+    finally:
+        _WORKER_STATE.clear()
+
+    outcomes: List[Any] = []
+    for profile, record in zip(profiles, records):
+        name = profile.test.full_name
+        outcome = profile_outcome_from_dict(record, tests_by_name)
+        # Replay shared-state effects the forked child could not apply:
+        # frequent-failure bookkeeping feeds both future blacklisting and
+        # the final report's blacklist section.
+        for result in outcome.results:
+            if result.verdict == CONFIRMED_UNSAFE:
+                for param in result.instance.params:
+                    campaign.tracker.record_unsafe(param, name)
+        if checkpoint is not None:
+            checkpoint.record_test_done(
+                name, outcome.results, outcome.stats, outcome.executions,
+                fault_counts=outcome.fault_counts, retries=outcome.retries,
+                error=outcome.error)
+        outcomes.append(outcome)
+    return outcomes

@@ -21,7 +21,8 @@ import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.core.runner import CONFIRMED_UNSAFE, InstanceResult, TestRunner, stable_seed
+from repro.core.execcache import execution_seed
+from repro.core.runner import CONFIRMED_UNSAFE, InstanceResult, TestRunner
 from repro.core.registry import UnitTest
 from repro.core.testgen import HeteroAssignment, ParamAssignment, TestInstance
 
@@ -74,6 +75,16 @@ class PoolStats:
     interference_events: int = 0
     blacklist_skips: int = 0
     already_confirmed_skips: int = 0
+    #: pool executions voided (infra error or watchdog timeout) and
+    #: re-drawn under a fresh seed instead of bisected.
+    pool_voids: int = 0
+    #: pools abandoned after every re-draw came back infrastructural —
+    #: no oracle signal, so bisection would only burn executions.
+    pool_infra_giveups: int = 0
+    #: execution-cache counters (merged from the campaign's runners).
+    exec_cache_hits: int = 0
+    exec_cache_misses: int = 0
+    exec_cache_bypasses: int = 0
 
     @property
     def total_instances_run(self) -> int:
@@ -86,13 +97,17 @@ class PooledTester:
     def __init__(self, runner: TestRunner,
                  tracker: Optional[FrequentFailureTracker] = None,
                  max_pool_size: Optional[int] = None,
-                 on_result: Optional[Callable[[InstanceResult], None]] = None
-                 ) -> None:
+                 on_result: Optional[Callable[[InstanceResult], None]] = None,
+                 max_pool_redraws: int = 2) -> None:
         self.runner = runner
         self.tracker = tracker if tracker is not None else FrequentFailureTracker()
         #: None reproduces the paper's setting: "we set the maximal pool
         #: size to be equal to the number of parameters".
         self.max_pool_size = max_pool_size
+        #: how many times a voided (infra/timed-out) pool execution is
+        #: re-drawn under a fresh seed before the pool gives up (infra)
+        #: or the failure is accepted as oracle evidence (timeout).
+        self.max_pool_redraws = max(max_pool_redraws, 0)
         #: invoked with each InstanceResult the moment it is produced
         #: (campaign checkpoints journal through this).
         self.on_result = on_result
@@ -146,13 +161,37 @@ class PooledTester:
             return [result]
 
         assignment = HeteroAssignment(tuple(units))
-        seed = stable_seed(test.full_name, group, strategy,
-                           ",".join(assignment.params), depth)
+        canonical = self.runner.canonical_form(assignment)
         if depth == 0:
             self.stats.pool_runs += 1
         else:
             self.stats.bisection_runs += 1
-        outcome = self.runner.execute(test, assignment, seed)
+        # Pool seeds derive from the assignment *content* (not the group/
+        # strategy/depth labels), so a bisection half that reconstitutes an
+        # already-seen parameter set re-uses its execution via the cache.
+        outcome = self.runner.execute(
+            test, assignment, execution_seed(test.full_name, canonical, 0),
+            canonical=canonical)
+        redraws = 0
+        while ((outcome.infra or outcome.timed_out)
+               and redraws < self.max_pool_redraws):
+            # An infrastructure error (or a watchdog kill) carries no
+            # oracle signal about any pooled parameter; bisecting on it
+            # would waste up to 2·|pool| executions.  Void the run and
+            # re-draw under a fresh seed.
+            redraws += 1
+            self.stats.pool_voids += 1
+            outcome = self.runner.execute(
+                test, assignment,
+                execution_seed(test.full_name, canonical, redraws),
+                canonical=canonical)
+        if outcome.infra:
+            # Still infrastructural after every re-draw: the harness, not
+            # the configuration, is failing.  Give the pool up rather than
+            # feeding bisection garbage; the campaign surfaces this via
+            # PoolStats.pool_infra_giveups.
+            self.stats.pool_infra_giveups += 1
+            return []
         if outcome.ok:
             if depth == 0:
                 self.stats.pools_cleared += 1

@@ -41,6 +41,10 @@ class TestProfile:
     params_by_group: Dict[str, Set[str]] = field(default_factory=dict)
     #: parameters read through unmappable configuration objects.
     uncertain_params: Set[str] = field(default_factory=set)
+    #: parameters the test explicitly ``set``s during execution; the
+    #: execution cache must not collapse homo(param=default) onto the
+    #: original run for these (injection shadows the explicit set).
+    explicit_sets: Set[str] = field(default_factory=set)
     #: baseline failure message, if the test failed its pre-run.
     baseline_error: Optional[str] = None
     starts_nodes: bool = False
@@ -71,6 +75,7 @@ def prerun_test(test: UnitTest) -> TestProfile:
     if agent.usage.get(UNIT_TEST):
         profile.groups[UNIT_TEST] = 1
     profile.uncertain_params = set(agent.uncertain_params)
+    profile.explicit_sets = set(agent.set_params)
     return profile
 
 

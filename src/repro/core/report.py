@@ -69,6 +69,9 @@ class AppReport:
     infra_retries_performed: int = 0
     #: tests whose profile run crashed and was contained (not aborted).
     degraded_tests: Tuple[str, ...] = ()
+    #: the campaign memoized executions (repro.core.execcache); counters
+    #: live in pool_stats.exec_cache_*.
+    exec_cache_enabled: bool = False
 
     @property
     def reported_params(self) -> List[str]:
@@ -190,6 +193,14 @@ def app_report_to_dict(report: AppReport) -> Dict[str, object]:
             "singleton_instances": report.pool_stats.singleton_instances,
             "pools_cleared": report.pool_stats.pools_cleared,
             "blacklist_skips": report.pool_stats.blacklist_skips,
+            "pool_voids": report.pool_stats.pool_voids,
+            "pool_infra_giveups": report.pool_stats.pool_infra_giveups,
+        },
+        "exec_cache": {
+            "enabled": report.exec_cache_enabled,
+            "hits": report.pool_stats.exec_cache_hits,
+            "misses": report.pool_stats.exec_cache_misses,
+            "bypasses": report.pool_stats.exec_cache_bypasses,
         },
         "resilience": {
             "fault_counts": dict(sorted(report.fault_counts.items())),

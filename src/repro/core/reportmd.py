@@ -43,13 +43,25 @@ def app_report_markdown(report: AppReport) -> str:
 
     hypo = report.hypothesis_stats
     sections.append("## Run statistics")
-    sections.append(_table(["metric", "value"], [
+    stats_rows = [
         ["unit-test executions", format(report.executions, ",")],
         ["modelled machine hours", "%.1f" % (report.machine_time_s / 3600)],
         ["suspicious first trials", hypo.suspicious_first_trial],
         ["filtered as flaky", hypo.filtered_as_flaky],
         ["blacklisted parameters", len(report.blacklisted)],
-    ]))
+    ]
+    pool = report.pool_stats
+    if pool.pool_voids or pool.pool_infra_giveups:
+        stats_rows.append(["voided pool runs (re-drawn)", pool.pool_voids])
+        stats_rows.append(["pools abandoned as infra",
+                           pool.pool_infra_giveups])
+    if report.exec_cache_enabled:
+        stats_rows.append(["exec-cache hits", format(pool.exec_cache_hits,
+                                                     ",")])
+        stats_rows.append(["exec-cache misses",
+                           format(pool.exec_cache_misses, ",")])
+        stats_rows.append(["exec-cache bypasses", pool.exec_cache_bypasses])
+    sections.append(_table(["metric", "value"], stats_rows))
     sections.append("")
     return "\n".join(sections)
 

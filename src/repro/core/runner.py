@@ -16,14 +16,15 @@ configurations fail in the first trial").
 from __future__ import annotations
 
 import random
-import zlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.common.errors import InfrastructureError
 from repro.common.faults import FaultInjector, FaultPlan, fault_scope
 from repro.common.simulation import SimTimeLimitExceeded, sim_time_limit
 from repro.core.confagent import ConfAgent
+from repro.core.execcache import (ExecutionCache, canonical_assignment,
+                                  execution_seed, stable_seed)
 from repro.core.registry import TestContext, UnitTest
 from repro.core.stats import DEFAULT_ALPHA, TrialTally
 from repro.core.testgen import HeteroAssignment, TestInstance
@@ -61,6 +62,9 @@ class RunOutcome:
     retries: int = 0
     #: discrete faults injected during this execution.
     faults: int = 0
+    #: the test consulted ``ctx.rng`` — its outcome may depend on the
+    #: trial seed, so the execution cache must key it by seed.
+    rng_used: bool = False
 
     @property
     def failed(self) -> bool:
@@ -82,10 +86,24 @@ class InstanceResult:
         return self.verdict in (CONFIRMED_UNSAFE, FLAKY_DISMISSED)
 
 
-def stable_seed(*parts: Any) -> int:
-    """Deterministic cross-run seed from identifying strings/ints."""
-    text = "|".join(str(p) for p in parts)
-    return zlib.crc32(text.encode("utf-8"))
+class _TrackedRandom(random.Random):
+    """A ``random.Random`` that records whether it was ever consulted.
+
+    Every public drawing method bottoms out in ``random()`` or
+    ``getrandbits()``, so flagging those two covers them all.  The flag
+    is what lets the execution cache distinguish seed-sensitive
+    executions from purely configuration-determined ones.
+    """
+
+    used = False
+
+    def random(self) -> float:
+        self.used = True
+        return super().random()
+
+    def getrandbits(self, k: int) -> int:
+        self.used = True
+        return super().getrandbits(k)
 
 
 class TestRunner:
@@ -96,7 +114,10 @@ class TestRunner:
                  fault_plan: Optional[FaultPlan] = None,
                  infra_retries: int = 2,
                  watchdog_sim_s: float = DEFAULT_WATCHDOG_SIM_S,
-                 trace: Optional[Any] = None) -> None:
+                 trace: Optional[Any] = None,
+                 registry: Optional[Any] = None,
+                 cache: Optional[ExecutionCache] = None,
+                 collapse_exclude: Iterable[str] = ()) -> None:
         self.alpha = alpha
         self.max_trials = max_trials
         #: charged per execution when estimating machine time; the paper's
@@ -115,25 +136,64 @@ class TestRunner:
         self.watchdog_sim_s = watchdog_sim_s
         #: optional repro.core.tracelog.TraceLog for fault/retry events.
         self.trace = trace
+        #: parameter registry for the homogeneous default-value collapse
+        #: (None = no collapse; canonical forms stay purely structural).
+        self.registry = registry
+        #: shared per-campaign execution cache (None = always execute).
+        self.cache = cache
+        #: parameters the unit test explicitly ``set``s during its
+        #: pre-run: injecting their default would shadow the set, so the
+        #: default-value collapse must not apply to them.
+        self.collapse_exclude = frozenset(collapse_exclude)
         self.executions = 0
         self.retries_performed = 0
+        #: execution-cache counters for this runner's share of the work.
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_bypasses = 0
         #: fault kind -> total injections across all executions.
         self.fault_counts: Dict[str, int] = {}
         #: extra modelled machine seconds charged by retry backoff.
         self.backoff_cost_s = 0.0
 
     # ------------------------------------------------------------------
+    # content addressing
+    # ------------------------------------------------------------------
+    def canonical_form(self, assignment: Optional[Any]) -> Tuple[Any, ...]:
+        """Canonical content form of ``assignment`` under this runner's
+        registry and collapse exclusions (see repro.core.execcache)."""
+        return canonical_assignment(assignment, registry=self.registry,
+                                    no_collapse=self.collapse_exclude)
+
+    # ------------------------------------------------------------------
     # single execution
     # ------------------------------------------------------------------
     def execute(self, test: UnitTest, assignment: Optional[Any],
-                seed: int) -> RunOutcome:
+                seed: int, canonical: Optional[Tuple[Any, ...]] = None
+                ) -> RunOutcome:
         """Run one unit test once under ``assignment`` (None = original).
 
         Crash containment: the watchdog bounds simulated time, oracle
         failures (any exception from the test body) are data, and
         infrastructure errors are retried with exponential backoff up to
         ``infra_retries`` times before being reported as infrastructural.
+
+        With an execution cache attached, a memoized outcome for the same
+        (test, canonical assignment, seed) is returned without running;
+        ``canonical`` lets callers that already computed the content form
+        avoid recomputing it.
         """
+        if self.cache is not None:
+            if canonical is None:
+                canonical = self.canonical_form(assignment)
+            cached = self.cache.lookup(test.full_name, canonical, seed)
+            if cached is not None:
+                self.cache_hits += 1
+                if self.trace is not None:
+                    self.trace.emit("exec-cache-hit", test=test.full_name,
+                                    seed=seed, ok=cached.ok)
+                return cached
+            self.cache_misses += 1
         outcome = self._execute_once(test, assignment, seed, attempt=0)
         attempt = 0
         while outcome.infra and attempt < self.infra_retries:
@@ -148,13 +208,19 @@ class TestRunner:
             outcome = self._execute_once(test, assignment, seed,
                                          attempt=attempt)
             outcome.retries = attempt
+        if self.cache is not None:
+            seed_sensitive = self.fault_plan is not None or outcome.rng_used
+            if not self.cache.store(test.full_name, canonical, seed, outcome,
+                                    seed_sensitive=seed_sensitive):
+                self.cache_bypasses += 1
         return outcome
 
     def _execute_once(self, test: UnitTest, assignment: Optional[Any],
                       seed: int, attempt: int) -> RunOutcome:
         self.executions += 1
         agent = ConfAgent(assignment=assignment, record_usage=False)
-        ctx = TestContext(rng=random.Random(seed), trial=seed)
+        rng = _TrackedRandom(seed)
+        ctx = TestContext(rng=rng, trial=seed)
         injector = self._injector(test, seed, attempt)
         try:
             with agent, fault_scope(injector), \
@@ -174,6 +240,7 @@ class TestRunner:
         else:
             outcome = RunOutcome(ok=True)
         outcome.faults = self._collect_faults(injector)
+        outcome.rng_used = rng.used
         return outcome
 
     def _injector(self, test: UnitTest, seed: int,
@@ -205,15 +272,23 @@ class TestRunner:
     # ------------------------------------------------------------------
     # Definition 3.1 first trial
     # ------------------------------------------------------------------
-    def first_trial(self, test: UnitTest, assignment: HeteroAssignment,
-                    label: str) -> Tuple[RunOutcome, List[RunOutcome]]:
+    def first_trial(self, test: UnitTest, assignment: HeteroAssignment
+                    ) -> Tuple[RunOutcome, List[RunOutcome]]:
+        """Seeds derive from execution *content*, not display labels, so
+        identical executions (e.g. the all-defaults homogeneous baseline
+        shared by every parameter of a test) share seeds — and therefore
+        outcomes, and therefore cache slots."""
+        hetero_c = self.canonical_form(assignment)
         hetero = self.execute(test, assignment,
-                              stable_seed(test.full_name, label, "hetero", 0))
+                              execution_seed(test.full_name, hetero_c, 0),
+                              canonical=hetero_c)
         homos: List[RunOutcome] = []
         for side in range(assignment.sides()):
+            homo = assignment.homo_variant(side)
+            homo_c = self.canonical_form(homo)
             homos.append(self.execute(
-                test, assignment.homo_variant(side),
-                stable_seed(test.full_name, label, "homo", side, 0)))
+                test, homo, execution_seed(test.full_name, homo_c, 0),
+                canonical=homo_c))
         return hetero, homos
 
     # ------------------------------------------------------------------
@@ -221,8 +296,7 @@ class TestRunner:
     # ------------------------------------------------------------------
     def evaluate(self, instance: TestInstance) -> InstanceResult:
         start = self.executions
-        label = instance.describe()
-        hetero, homos = self.first_trial(instance.test, instance.assignment, label)
+        hetero, homos = self.first_trial(instance.test, instance.assignment)
         if hetero.infra or any(h.infra for h in homos):
             # The harness, not the configuration, failed — even after the
             # bounded retries.  Contained: reported as INFRA_ERROR, never
@@ -236,16 +310,21 @@ class TestRunner:
         if any(h.failed for h in homos):
             return self._done(instance, BASELINE_FAIL, start,
                               hetero_error=hetero.error_message)
-        tally = self.confirm(instance.test, instance.assignment, label,
+        tally = self.confirm(instance.test, instance.assignment,
                              first_hetero=hetero, first_homos=homos)
         verdict = CONFIRMED_UNSAFE if tally.significant(self.alpha) else FLAKY_DISMISSED
         return self._done(instance, verdict, start,
                           hetero_error=hetero.error_message, tally=tally)
 
-    def confirm(self, test: UnitTest, assignment: HeteroAssignment, label: str,
+    def confirm(self, test: UnitTest, assignment: HeteroAssignment,
                 first_hetero: RunOutcome,
                 first_homos: List[RunOutcome]) -> TrialTally:
-        """Multi-trial confirmation loop for a suspicious instance."""
+        """Multi-trial confirmation loop for a suspicious instance.
+
+        Trials of a seed-insensitive (rng-free, fault-free) test are
+        byte-identical re-executions; with a cache attached they cost one
+        execution total instead of one per trial.
+        """
         tally = TrialTally()
         tally.record_hetero(first_hetero.failed)
         for outcome in first_homos:
@@ -253,14 +332,21 @@ class TestRunner:
         trial = 1
         void_trials = 0
         sides = assignment.sides()
+        hetero_c = self.canonical_form(assignment)
+        homo_cs = [self.canonical_form(assignment.homo_variant(side))
+                   for side in range(sides)]
         while (not tally.significant(self.alpha)
                and tally.hetero_trials < self.max_trials
                and not tally.hopeless(self.alpha, self.max_trials)):
-            hetero = self.execute(test, assignment,
-                                  stable_seed(test.full_name, label, "hetero", trial))
+            hetero = self.execute(
+                test, assignment,
+                execution_seed(test.full_name, hetero_c, trial),
+                canonical=hetero_c)
             side = trial % sides
-            homo = self.execute(test, assignment.homo_variant(side),
-                                stable_seed(test.full_name, label, "homo", side, trial))
+            homo = self.execute(
+                test, assignment.homo_variant(side),
+                execution_seed(test.full_name, homo_cs[side], trial),
+                canonical=homo_cs[side])
             trial += 1
             if hetero.infra or homo.infra:
                 # A persistent harness failure is not evidence either way;

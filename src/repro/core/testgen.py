@@ -72,6 +72,18 @@ class ParamAssignment:
             return self.group_values[node_index % len(self.group_values)]
         return self.other_value
 
+    def canonical(self) -> Tuple[Any, ...]:
+        """Stable content form: equal canonicals inject identically.
+
+        Pinned companions keep first-wins semantics (``value_for`` scans
+        in order) but are sorted afterwards so incidental ordering does
+        not split cache slots or seeds.
+        """
+        pinned = _first_wins_pairs(self.pinned)
+        return ("param", self.param, self.group, tuple(self.group_values),
+                self.other_value,
+                tuple(sorted(pinned, key=lambda kv: (kv[0], repr(kv[1])))))
+
     def distinct_values(self) -> Tuple[Any, ...]:
         out: List[Any] = []
         for value in self.group_values + (self.other_value,):
@@ -104,6 +116,12 @@ class HeteroAssignment:
             if value is not NO_OVERRIDE:
                 return value
         return NO_OVERRIDE
+
+    def canonical(self) -> Tuple[Any, ...]:
+        """Stable content form; pooled order is irrelevant to injection
+        (parameters are unique), so members are sorted by parameter."""
+        return ("hetero", tuple(sorted((a.canonical() for a in self.assignments),
+                                       key=lambda c: c[1])))
 
     def sides(self) -> int:
         """Number of homogeneous variants implied (max distinct values)."""
@@ -142,6 +160,26 @@ class HomoAssignment:
             if name == param:
                 return value
         return NO_OVERRIDE
+
+    def canonical(self) -> Tuple[Any, ...]:
+        """Stable content form (see also
+        :func:`repro.core.execcache.canonical_assignment`, which folds
+        default-value injections onto the original configuration)."""
+        effective = _first_wins_pairs(self.pinned + self.values)
+        return ("homo", tuple(sorted(effective,
+                                     key=lambda kv: (kv[0], repr(kv[1])))))
+
+
+def _first_wins_pairs(pairs: Tuple[Tuple[str, Any], ...]
+                      ) -> Tuple[Tuple[str, Any], ...]:
+    """Drop later duplicates, matching ``value_for``'s scan order."""
+    seen: Set[str] = set()
+    out: List[Tuple[str, Any]] = []
+    for name, value in pairs:
+        if name not in seen:
+            seen.add(name)
+            out.append((name, value))
+    return tuple(out)
 
 
 @dataclass(frozen=True)

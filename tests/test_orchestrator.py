@@ -165,6 +165,60 @@ class TestScale:
 from repro.common.params import ParamRegistry  # noqa: E402
 
 
+class TestDegradedProfileAccounting:
+    def test_partial_profile_work_is_counted(self, monkeypatch):
+        """A profile that crashes mid-way degrades, but the executions it
+        already burned (and the results it already produced) must survive
+        into the report — the old behaviour dropped them entirely."""
+        from repro.core.pooling import PooledTester
+        original_run = PooledTester.run
+
+        def exploding_after(n):
+            calls = {"count": 0}
+
+            def run(self, test, group, strategy, units):
+                calls["count"] += 1
+                if calls["count"] > n:
+                    raise RuntimeError("harness bug mid-profile")
+                return original_run(self, test, group, strategy, units)
+            return run
+
+        monkeypatch.setattr(PooledTester, "run", exploding_after(0))
+        immediate = synthetic_campaign(tests=[two_service_test()]).run()
+        monkeypatch.setattr(PooledTester, "run", exploding_after(2))
+        partial = synthetic_campaign(tests=[two_service_test()]).run()
+        name = two_service_test().full_name
+        assert name in immediate.degraded_tests
+        assert name in partial.degraded_tests
+        # the two completed pool batches before the crash stay accounted
+        assert partial.pool_stats.pool_runs > immediate.pool_stats.pool_runs
+        assert partial.executions > immediate.executions
+
+
+class TestCheckpointRestoreScaling:
+    def test_restore_shares_one_tests_by_name_mapping(self, tmp_path,
+                                                      monkeypatch):
+        """The test-name index is built once per run and shared by every
+        restored profile; rebuilding it per profile made large resumes
+        quadratic in corpus size."""
+        path = str(tmp_path / "journal.jsonl")
+        config = CampaignConfig(checkpoint_path=path)
+        synthetic_campaign(config=config).run()
+
+        seen = []
+        original = Campaign._restore_profile
+
+        def spy(self, checkpoint, name, tests_by_name):
+            seen.append(tests_by_name)
+            return original(self, checkpoint, name, tests_by_name)
+
+        monkeypatch.setattr(Campaign, "_restore_profile", spy)
+        synthetic_campaign(
+            config=CampaignConfig(checkpoint_path=path)).run()
+        assert len(seen) >= 2  # several profiles restored
+        assert all(mapping is seen[0] for mapping in seen)
+
+
 class TestRendering:
     def test_render_table_alignment(self):
         text = render_table(["col", "n"], [["a", 1], ["bb", 22]])

@@ -163,3 +163,92 @@ class TestPooledTester:
         results = tester.run(two_service_test(), "Service", CROSS,
                              make_units(ALL_PARAMS, strategy=CROSS))
         assert all(r.verdict != CONFIRMED_UNSAFE for r in results)
+
+
+class ScriptedRunner:
+    """Stub runner whose pool executions follow a script; singleton
+    evaluation is recorded so tests can assert bisection (not) happening."""
+
+    def __init__(self, outcomes):
+        self.outcomes = list(outcomes)
+        self.pool_executions = 0
+        self.evaluated = []
+
+    def canonical_form(self, assignment):
+        from repro.core.execcache import canonical_assignment
+        return canonical_assignment(assignment)
+
+    def execute(self, test, assignment, seed, canonical=None):
+        self.pool_executions += 1
+        return self.outcomes.pop(0)
+
+    def evaluate(self, instance):
+        from repro.core.runner import PASS, InstanceResult
+        self.evaluated.append(instance)
+        return InstanceResult(instance=instance, verdict=PASS)
+
+
+class TestPoolVoidRedraw:
+    """Infra/timeout pool outcomes are voided and re-drawn, never handed
+    to bisection as if they were oracle failures (the old behaviour
+    wasted up to 2x|pool| executions per lost container)."""
+
+    def units(self):
+        return make_units(("synth.safe-a", "synth.safe-b", "synth.safe-c"))
+
+    def outcome(self, *, ok=False, infra=False, timed_out=False):
+        from repro.core.runner import RunOutcome
+        return RunOutcome(ok=ok, infra=infra, timed_out=timed_out)
+
+    def test_transient_infra_redraws_and_clears(self):
+        runner = ScriptedRunner([self.outcome(infra=True),
+                                 self.outcome(ok=True)])
+        tester = PooledTester(runner)
+        results = tester.run(two_service_test(), "Service", ROUND_ROBIN,
+                             self.units())
+        assert results == []
+        assert runner.evaluated == []  # no bisection
+        assert tester.stats.pool_voids == 1
+        assert tester.stats.pool_infra_giveups == 0
+        assert tester.stats.pools_cleared == 1
+        assert tester.stats.params_cleared_in_pools == 3
+
+    def test_persistent_infra_gives_up_without_bisection(self):
+        runner = ScriptedRunner([self.outcome(infra=True)] * 3)
+        tester = PooledTester(runner, max_pool_redraws=2)
+        results = tester.run(two_service_test(), "Service", ROUND_ROBIN,
+                             self.units())
+        assert results == []
+        assert runner.evaluated == []
+        assert runner.pool_executions == 3  # first draw + two re-draws
+        assert tester.stats.pool_voids == 2
+        assert tester.stats.pool_infra_giveups == 1
+        assert tester.stats.pools_cleared == 0
+
+    def test_persistent_timeout_still_bisects(self):
+        """A reproducible watchdog kill is real configuration evidence
+        (a runaway retry loop, say) — after the re-draws it must fall
+        through to bisection, unlike an infra giveup."""
+        runner = ScriptedRunner([self.outcome(timed_out=True)] * 3
+                                + [self.outcome(ok=True)])  # right sub-pool
+        tester = PooledTester(runner, max_pool_redraws=2)
+        tester.run(two_service_test(), "Service", ROUND_ROBIN, self.units())
+        assert tester.stats.pool_voids == 2
+        assert tester.stats.pool_infra_giveups == 0
+        assert len(runner.evaluated) > 0  # bisection reached singletons
+
+    def test_oracle_failure_never_voided(self):
+        runner = ScriptedRunner([self.outcome(ok=False)] * 2)  # pool + right half
+        tester = PooledTester(runner)
+        tester.run(two_service_test(), "Service", ROUND_ROBIN, self.units())
+        assert tester.stats.pool_voids == 0
+        assert len(runner.evaluated) == 3  # every singleton bisected out
+
+    def test_redraw_disabled_with_zero_budget(self):
+        runner = ScriptedRunner([self.outcome(infra=True)])
+        tester = PooledTester(runner, max_pool_redraws=0)
+        results = tester.run(two_service_test(), "Service", ROUND_ROBIN,
+                             self.units())
+        assert results == []
+        assert tester.stats.pool_voids == 0
+        assert tester.stats.pool_infra_giveups == 1

@@ -101,7 +101,6 @@ class TestFirstTrial:
     def test_first_trial_runs_all_homo_sides(self):
         runner = TestRunner()
         instance = make_instance(two_service_test(), "synth.level")
-        hetero, homos = runner.first_trial(instance.test, instance.assignment,
-                                           "label")
+        hetero, homos = runner.first_trial(instance.test, instance.assignment)
         assert len(homos) == instance.assignment.sides() == 2
         assert all(h.ok for h in homos)
