@@ -44,7 +44,8 @@ def _run(**config_kwargs):
 def _verdict_view(report):
     """The report minus run-cost bookkeeping: what soundness preserves."""
     record = app_report_to_dict(report)
-    for volatile in ("executions", "machine_time_s", "exec_cache"):
+    for volatile in ("executions", "machine_time_s", "exec_cache",
+                     "supervision"):
         record.pop(volatile, None)
     return json.dumps(record, sort_keys=True)
 

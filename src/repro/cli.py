@@ -134,10 +134,46 @@ def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
             ("--fault-crash", "per-node crash/restart probability"),
             ("--fault-slow-io", "slow-I/O perturbation probability"),
             ("--fault-clock-jitter", "relative timer clock jitter"),
-            ("--fault-infra", "injected infrastructure-error probability")):
+            ("--fault-infra", "injected infrastructure-error probability"),
+            ("--fault-worker-crash", "probability a supervised worker "
+                                     "process hard-crashes per delivery")):
         resilience.add_argument(flag, type=float, default=None,
                                 metavar="PROB",
                                 help="%s (overrides the --chaos preset)" % text)
+    resilience.add_argument("--supervise", default=True,
+                            action=argparse.BooleanOptionalAction,
+                            help="supervise process workers: contain "
+                                 "crashes, reap hung workers, quarantine "
+                                 "poison profiles (default on; "
+                                 "--no-supervise restores the bare "
+                                 "executor, where one dead child aborts "
+                                 "the campaign)")
+    resilience.add_argument("--profile-deadline", type=float, default=None,
+                            metavar="SECONDS",
+                            help="real-time wall-clock budget per unit-test "
+                                 "profile under supervision; on expiry the "
+                                 "worker is SIGKILLed and the profile "
+                                 "quarantined (default: none)")
+    resilience.add_argument("--worker-rlimit-cpu", type=int, default=None,
+                            metavar="SECONDS",
+                            help="RLIMIT_CPU for each supervised worker; "
+                                 "workers are recycled per profile so every "
+                                 "profile gets a fresh CPU budget")
+    resilience.add_argument("--worker-rlimit-mem", type=int, default=None,
+                            metavar="MB",
+                            help="RLIMIT_AS (address space, MB) for each "
+                                 "supervised worker")
+    resilience.add_argument("--worker-redelivery", type=int, default=2,
+                            metavar="N",
+                            help="times a profile is redelivered to a fresh "
+                                 "worker after its worker crashed, before "
+                                 "being quarantined (default 2)")
+    resilience.add_argument("--crash-loop-threshold", type=int, default=5,
+                            metavar="K",
+                            help="consecutive worker deaths (no completed "
+                                 "profile in between) that trip the "
+                                 "supervisor's circuit breaker and halt the "
+                                 "campaign with a partial report (default 5)")
 
 
 def _fault_plan(args: argparse.Namespace) -> "Optional[FaultPlan]":
@@ -153,7 +189,8 @@ def _fault_plan(args: argparse.Namespace) -> "Optional[FaultPlan]":
                             ("fault_crash", "crash_prob"),
                             ("fault_slow_io", "io_slowdown_prob"),
                             ("fault_clock_jitter", "clock_jitter"),
-                            ("fault_infra", "infra_error_prob")):
+                            ("fault_infra", "infra_error_prob"),
+                            ("fault_worker_crash", "worker_crash_prob")):
         value = getattr(args, flag)
         if value is not None:
             overrides[fieldname] = value
@@ -174,7 +211,13 @@ def _config(args: argparse.Namespace) -> CampaignConfig:
                             checkpoint_path=args.checkpoint,
                             infra_retries=args.infra_retries,
                             exec_cache=args.exec_cache,
-                            parallel_backend=args.parallel_backend)
+                            parallel_backend=args.parallel_backend,
+                            supervise=args.supervise,
+                            profile_deadline_s=args.profile_deadline,
+                            worker_rlimit_cpu_s=args.worker_rlimit_cpu,
+                            worker_rlimit_mem_mb=args.worker_rlimit_mem,
+                            worker_redelivery=args.worker_redelivery,
+                            crash_loop_threshold=args.crash_loop_threshold)
     if args.watchdog is not None:
         config.watchdog_sim_s = args.watchdog
     return config

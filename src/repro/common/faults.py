@@ -90,12 +90,20 @@ class FaultPlan:
     #: before the test body runs (a lost container); exercises the
     #: runner's infra-retry path.
     infra_error_prob: float = 0.0
+    #: probability that a supervised worker *process* hard-dies
+    #: (``os._exit``) just before running a profile — the harness-level
+    #: chaos that makes the supervisor itself testable.  Consulted only
+    #: by the process supervisor (repro.core.supervise); sequential and
+    #: thread backends never kill their own process.  Not part of the
+    #: ``moderate`` preset for the same reason.
+    worker_crash_prob: float = 0.0
 
     @property
     def active(self) -> bool:
         return any((self.drop_prob, self.delay_prob, self.duplicate_prob,
                     self.crash_prob, self.io_slowdown_prob,
-                    self.clock_jitter, self.infra_error_prob))
+                    self.clock_jitter, self.infra_error_prob,
+                    self.worker_crash_prob))
 
     @classmethod
     def moderate(cls, seed: int = 0) -> "FaultPlan":
@@ -104,6 +112,22 @@ class FaultPlan:
                    duplicate_prob=0.01, crash_prob=0.02,
                    io_slowdown_prob=0.05, clock_jitter=0.01,
                    infra_error_prob=0.01)
+
+    def worker_crash_decision(self, task: str, delivery: int) -> bool:
+        """Should the worker about to run ``task`` hard-die instead?
+
+        Deterministic per (plan seed, task, delivery attempt): the first
+        delivery of a profile may be doomed while its redelivery draws a
+        fresh decision, so bounded redelivery genuinely recovers injected
+        crashes.  The *caller* performs the kill (``os._exit``); keeping
+        the policy here and the mechanism in the supervisor means this
+        hook can be unit-tested without dying.
+        """
+        if not self.worker_crash_prob:
+            return False
+        rng = random.Random(fault_seed(self.seed, "worker-crash",
+                                       task, delivery))
+        return rng.random() < self.worker_crash_prob
 
 
 class NullInjector:

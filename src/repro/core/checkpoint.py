@@ -197,7 +197,7 @@ class CampaignCheckpoint:
     def restore_test(self, test_name: str,
                      tests_by_name: Mapping[str, UnitTest]
                      ) -> Tuple[List[InstanceResult], PoolStats, int,
-                                Dict[str, int], int, str]:
+                                Dict[str, int], int, str, str]:
         """Rebuild one finished test's contribution to the campaign."""
         record = self._done[test_name]
         results = [result_from_dict(r, tests_by_name)
@@ -206,7 +206,8 @@ class CampaignCheckpoint:
         fault_counts = {str(k): int(v)
                         for k, v in record.get("fault_counts", {}).items()}
         return (results, stats, int(record["executions"]), fault_counts,
-                int(record.get("retries", 0)), record.get("error", ""))
+                int(record.get("retries", 0)), record.get("error", ""),
+                record.get("error_kind", ""))
 
     # -- writing -------------------------------------------------------
     def record_instance(self, result: InstanceResult) -> None:
@@ -215,7 +216,8 @@ class CampaignCheckpoint:
     def record_test_done(self, test_name: str, results: List[InstanceResult],
                          stats: PoolStats, executions: int,
                          fault_counts: Optional[Dict[str, int]] = None,
-                         retries: int = 0, error: str = "") -> None:
+                         retries: int = 0, error: str = "",
+                         error_kind: str = "") -> None:
         record = {
             "kind": "test-done",
             "test": test_name,
@@ -225,6 +227,7 @@ class CampaignCheckpoint:
             "fault_counts": dict(fault_counts or {}),
             "retries": retries,
             "error": error,
+            "error_kind": error_kind,
         }
         self._append(record)
         self._done[test_name] = record

@@ -9,7 +9,7 @@ fan out across a thread pool (the paper used up to 100 machines; §4
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import traceback
 from dataclasses import asdict, dataclass, field, fields
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -23,12 +23,16 @@ from repro.core.pooling import FrequentFailureTracker, PooledTester, PoolStats
 from repro.core.prerun import PreRunSummary, TestProfile, prerun_corpus
 from repro.core.registry import CORPUS, Corpus, UnitTest
 from repro.core.report import (AppReport, CampaignReport, HypothesisTestingStats,
-                               StageCounts)
+                               StageCounts, SupervisionStats)
 from repro.core.runner import (CONFIRMED_UNSAFE, DEFAULT_WATCHDOG_SIM_S,
                                FLAKY_DISMISSED, InstanceResult, TestRunner)
 from repro.core.stats import DEFAULT_ALPHA
 from repro.core.testgen import DependencyRule, TestGenerator
 from repro.core.triage import ParamVerdict, triage_report
+
+#: ProfileOutcome.error_kind for an exception contained *in-process*
+#: (the worker/thread survived; partial accounting was preserved).
+HARNESS_ERROR = "harness-error"
 
 
 @dataclass
@@ -68,6 +72,32 @@ class CampaignConfig:
     #: or "process" (fork-based, true parallelism over the pure-Python
     #: simulation).  Ignored at workers == 1.
     parallel_backend: str = "thread"
+    #: run the process backend under the supervisor (repro.core.supervise):
+    #: crashed/hung workers are killed, reaped and respawned instead of
+    #: aborting the campaign.  ``False`` restores the bare executor.
+    supervise: bool = True
+    #: wall-clock seconds a worker may spend on one profile before the
+    #: supervisor SIGKILLs it and quarantines the profile (None = no
+    #: deadline).  This is *real* time — it catches CPU-bound hangs the
+    #: simulated-time watchdog cannot see.
+    profile_deadline_s: Optional[float] = None
+    #: OS resource limits applied inside each worker (None = unlimited):
+    #: CPU seconds per profile (workers are recycled between profiles so
+    #: the budget does not accumulate) and address space in MiB.
+    worker_rlimit_cpu_s: Optional[int] = None
+    worker_rlimit_mem_mb: Optional[int] = None
+    #: how many times a profile whose worker died is re-sent to a fresh
+    #: worker before it is quarantined as WORKER_CRASH.
+    worker_redelivery: int = 2
+    #: consecutive worker deaths (without a completed profile in between)
+    #: that trip the crash-loop circuit breaker and halt the campaign
+    #: gracefully with a salvaged partial report.
+    crash_loop_threshold: int = 5
+    #: seconds of heartbeat silence from a BUSY worker before the
+    #: supervisor declares it frozen and kills it.  Heartbeats come from
+    #: a side thread, so plain CPU-bound work keeps beating; only a
+    #: genuinely stopped process (SIGSTOP, stuck syscall) goes silent.
+    heartbeat_timeout_s: float = 30.0
 
     def param_allowed(self, name: str) -> bool:
         return self.only_params is None or name in self.only_params
@@ -105,8 +135,14 @@ class ProfileOutcome:
     retries: int = 0
     #: non-empty when the profile run itself crashed (harness bug or
     #: unrecoverable environment failure): the campaign degrades to
-    #: reporting the error instead of aborting the whole run.
+    #: reporting the error instead of aborting the whole run.  Carries
+    #: the full child/parent traceback, or the exit-signal description
+    #: for a dead worker process.
     error: str = ""
+    #: classifies a non-empty ``error``: HARNESS_ERROR for a contained
+    #: in-process exception, runner.WORKER_CRASH for a worker process
+    #: that died (quarantine, deadline kill, circuit-breaker halt).
+    error_kind: str = ""
 
 
 class Campaign:
@@ -127,6 +163,9 @@ class Campaign:
         self.tracker = FrequentFailureTracker(self.config.blacklist_threshold)
         #: per-run execution cache (built in _run when config.exec_cache).
         self._cache: Optional[ExecutionCache] = None
+        #: supervised-pool counters for the current run (reset in _run;
+        #: filled by repro.core.supervise when the supervisor is used).
+        self.supervision = SupervisionStats()
 
     # ------------------------------------------------------------------
     def run(self) -> AppReport:
@@ -167,29 +206,32 @@ class Campaign:
         backend = self.config.parallel_backend
         if backend not in ("thread", "process"):
             raise ValueError("unknown parallel backend %r" % backend)
-        if self.config.workers > 1 and backend == "process" and pending:
-            from repro.core.parallel import run_profiles_in_processes
-            fresh = run_profiles_in_processes(self, pending, checkpoint,
-                                              tests_by_name)
-        elif self.config.workers > 1:
-            with ThreadPoolExecutor(max_workers=self.config.workers) as pool:
-                fresh = list(pool.map(
-                    lambda p: self._run_profile_contained(p, checkpoint),
-                    pending))
+        self.supervision = SupervisionStats()
+        if self.config.workers > 1 and pending:
+            # Both backends share the supervisor module's as-completed
+            # collection: each finished profile is journaled immediately,
+            # so a crash loses at most the in-flight profiles.
+            from repro.core.supervise import run_profiles_parallel
+            fresh = run_profiles_parallel(self, pending, checkpoint,
+                                          tests_by_name)
         else:
             fresh = [self._run_profile_contained(p, checkpoint)
                      for p in pending]
         for profile, outcome in zip(pending, fresh):
             outcome_by_test[profile.test.full_name] = outcome
 
+        from repro.core.runner import WORKER_CRASH
         results: List[InstanceResult] = []
         pool_stats = PoolStats()
         executions = len(profiles)  # pre-run executions count as runs too
         fault_counts: Dict[str, int] = {}
         retries = 0
         degraded: List[str] = []
+        quarantined: List[str] = []
+        degraded_errors: Dict[str, str] = {}
         for profile in usable:
-            outcome = outcome_by_test[profile.test.full_name]
+            name = profile.test.full_name
+            outcome = outcome_by_test[name]
             results.extend(outcome.results)
             _merge_stats(pool_stats, outcome.stats)
             executions += outcome.executions
@@ -197,7 +239,10 @@ class Campaign:
                 fault_counts[kind] = fault_counts.get(kind, 0) + count
             retries += outcome.retries
             if outcome.error:
-                degraded.append(profile.test.full_name)
+                degraded.append(name)
+                degraded_errors[name] = outcome.error
+                if outcome.error_kind == WORKER_CRASH:
+                    quarantined.append(name)
 
         stage_counts.after_pooling = pool_stats.total_instances_run
         hypothesis_stats = _hypothesis_stats(results)
@@ -219,7 +264,10 @@ class Campaign:
             fault_counts=dict(sorted(fault_counts.items())),
             infra_retries_performed=retries,
             degraded_tests=tuple(degraded),
-            exec_cache_enabled=self.config.exec_cache)
+            quarantined_tests=tuple(quarantined),
+            degraded_errors=degraded_errors,
+            exec_cache_enabled=self.config.exec_cache,
+            supervision=self.supervision)
 
     # ------------------------------------------------------------------
     # execution cache
@@ -259,7 +307,7 @@ class Campaign:
                          tests_by_name: Mapping[str, UnitTest]
                          ) -> ProfileOutcome:
         (results, stats, executions, fault_counts, retries,
-         error) = checkpoint.restore_test(name, tests_by_name)
+         error, error_kind) = checkpoint.restore_test(name, tests_by_name)
         # Replay blacklist bookkeeping: confirmations from journaled
         # tests must count toward the frequent-failure threshold exactly
         # as they did in the interrupted run.
@@ -274,7 +322,7 @@ class Campaign:
         return ProfileOutcome(results=results, stats=stats,
                               executions=executions,
                               fault_counts=fault_counts, retries=retries,
-                              error=error)
+                              error=error, error_kind=error_kind)
 
     def _run_profile_contained(self, profile: TestProfile,
                                checkpoint: Optional[CampaignCheckpoint]
@@ -282,9 +330,9 @@ class Campaign:
         """Run one profile; contain harness crashes; journal the outcome."""
         try:
             outcome = self._run_test_profile(profile, checkpoint)
-        except Exception as exc:  # noqa: BLE001 - graceful degradation
-            outcome = ProfileOutcome(
-                error="%s: %s" % (type(exc).__name__, exc))
+        except Exception:  # noqa: BLE001 - graceful degradation
+            outcome = ProfileOutcome(error=traceback.format_exc(),
+                                     error_kind=HARNESS_ERROR)
             trace = self.config.trace
             if trace is not None:
                 trace.emit("test-error", app=self.app,
@@ -293,7 +341,8 @@ class Campaign:
             checkpoint.record_test_done(
                 profile.test.full_name, outcome.results, outcome.stats,
                 outcome.executions, fault_counts=outcome.fault_counts,
-                retries=outcome.retries, error=outcome.error)
+                retries=outcome.retries, error=outcome.error,
+                error_kind=outcome.error_kind)
         return outcome
 
     # ------------------------------------------------------------------
@@ -350,6 +399,7 @@ class Campaign:
                               on_result=on_result)
         results: List[InstanceResult] = []
         error = ""
+        error_kind = ""
         try:
             for group in sorted(profile.groups):
                 group_size = profile.groups[group]
@@ -369,11 +419,12 @@ class Campaign:
                                  for name in params
                                  if layer < len(pairs_by_param[name])]
                         results.extend(tester.run(profile.test, group, strategy, units))
-        except Exception as exc:  # noqa: BLE001 - graceful degradation
+        except Exception:  # noqa: BLE001 - graceful degradation
             # The profile degrades, but the machine time it burned is
             # real: keep the partial runner's executions, fault counts,
             # and retries in the outcome instead of dropping them.
-            error = "%s: %s" % (type(exc).__name__, exc)
+            error = traceback.format_exc()
+            error_kind = HARNESS_ERROR
             trace = self.config.trace
             if trace is not None:
                 trace.emit("test-error", app=self.app,
@@ -386,7 +437,7 @@ class Campaign:
                               executions=runner.executions,
                               fault_counts=dict(runner.fault_counts),
                               retries=runner.retries_performed,
-                              error=error)
+                              error=error, error_kind=error_kind)
 
     # ------------------------------------------------------------------
     def _stage_counts(self, profiles: Sequence[TestProfile],

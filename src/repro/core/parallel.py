@@ -6,6 +6,13 @@ nothing up: the simulation is pure Python, so the GIL serializes the
 actual work.  This module fans the same parallelism granule — one unit
 test's whole profile — over *processes* instead.
 
+This is the **bare** backend (``--no-supervise``): a plain
+``ProcessPoolExecutor`` with no crash containment — one child that
+segfaults or ``os._exit``s still kills the whole pool with
+``BrokenProcessPool``.  The default path is the supervised pool in
+:mod:`repro.core.supervise`, which owns its workers over explicit pipes
+and survives child death; the wire format below is shared by both.
+
 Design constraints and how they are met:
 
 * **No pickling of live campaign state.**  The pool uses the ``fork``
@@ -18,10 +25,11 @@ Design constraints and how they are met:
   :class:`FrequentFailureTracker` and checkpoint journal are private
   copies, so the parent replays each returned profile's confirmed-unsafe
   results into the real tracker and writes the authoritative
-  ``test-done`` journal records itself, in submission order.  Blacklist
-  propagation *between* concurrently running profiles is therefore
-  backend-dependent — exactly as it already is for threads, where it
-  depends on scheduling order.
+  ``test-done`` journal records itself — **as each profile completes**,
+  not after the pool drains, so a mid-campaign crash loses only the
+  in-flight profiles.  Blacklist propagation *between* concurrently
+  running profiles is therefore backend-dependent — exactly as it
+  already is for threads, where it depends on scheduling order.
 * **Trace logs stay parent-only.**  A forked TraceLog would interleave
   half-written lines from many processes into one file descriptor, so
   the worker initializer disables tracing in the child; per-profile
@@ -40,7 +48,8 @@ profile set.
 from __future__ import annotations
 
 import multiprocessing
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
@@ -64,6 +73,7 @@ def profile_outcome_to_dict(outcome: Any) -> Dict[str, Any]:
         "fault_counts": dict(outcome.fault_counts),
         "retries": outcome.retries,
         "error": outcome.error,
+        "error_kind": outcome.error_kind,
     }
 
 
@@ -78,7 +88,8 @@ def profile_outcome_from_dict(record: Mapping[str, Any],
         fault_counts={str(k): int(v)
                       for k, v in record["fault_counts"].items()},
         retries=int(record["retries"]),
-        error=str(record["error"]))
+        error=str(record["error"]),
+        error_kind=str(record.get("error_kind", "")))
 
 
 # ---------------------------------------------------------------------------
@@ -99,9 +110,13 @@ def _run_profile_worker(test_name: str) -> Dict[str, Any]:
         # journal object is a useless fork copy and concurrent appends
         # from many processes would tear the file).
         outcome = campaign._run_test_profile(profile, checkpoint=None)
-    except Exception as exc:  # noqa: BLE001 - degrade, never kill the pool
-        from repro.core.orchestrator import ProfileOutcome
-        outcome = ProfileOutcome(error="%s: %s" % (type(exc).__name__, exc))
+    except Exception:  # noqa: BLE001 - degrade, never kill the pool
+        from repro.core.orchestrator import HARNESS_ERROR, ProfileOutcome
+        # The full traceback crosses the wire: the parent process cannot
+        # reconstruct a child stack after the fact, and the markdown
+        # report's infra section renders it for triage.
+        outcome = ProfileOutcome(error=traceback.format_exc(),
+                                 error_kind=HARNESS_ERROR)
     return profile_outcome_to_dict(outcome)
 
 
@@ -112,50 +127,64 @@ def fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+def commit_outcome(campaign: Any, checkpoint: Optional[Any], name: str,
+                   outcome: Any, replay_tracker: bool = True) -> None:
+    """Apply one finished profile's shared-state effects in the parent.
+
+    Frequent-failure bookkeeping feeds both future blacklisting and the
+    final report's blacklist section; it is replayed only for process
+    workers (a thread worker shares the live tracker and already
+    recorded its confirmations).  The ``test-done`` journal record is
+    written immediately — the incremental-journaling invariant both
+    backends rely on for crash-resume.
+    """
+    if replay_tracker:
+        from repro.core.runner import CONFIRMED_UNSAFE
+        for result in outcome.results:
+            if result.verdict == CONFIRMED_UNSAFE:
+                for param in result.instance.params:
+                    campaign.tracker.record_unsafe(param, name)
+    if checkpoint is not None:
+        checkpoint.record_test_done(
+            name, outcome.results, outcome.stats, outcome.executions,
+            fault_counts=outcome.fault_counts, retries=outcome.retries,
+            error=outcome.error, error_kind=outcome.error_kind)
+
+
 def run_profiles_in_processes(campaign: Any, profiles: Sequence[Any],
                               checkpoint: Optional[Any],
                               tests_by_name: Mapping[str, UnitTest]
                               ) -> List[Any]:
-    """Run ``profiles`` across ``campaign.config.workers`` processes.
+    """Run ``profiles`` across ``campaign.config.workers`` bare processes.
 
     Returns outcomes aligned with ``profiles``; tracker replay and
-    checkpoint journaling happen here, in the parent, in profile order.
+    checkpoint journaling happen here, in the parent, as each profile
+    completes.
     """
-    from repro.core.runner import CONFIRMED_UNSAFE
-
     if not fork_available():
-        with ThreadPoolExecutor(max_workers=campaign.config.workers) as pool:
-            return list(pool.map(
-                lambda p: campaign._run_profile_contained(p, checkpoint),
-                profiles))
+        from repro.core.supervise import run_profiles_in_threads
+        return run_profiles_in_threads(campaign, profiles, checkpoint)
 
     names = [p.test.full_name for p in profiles]
     _WORKER_STATE["campaign"] = campaign
     _WORKER_STATE["profiles"] = {p.test.full_name: p for p in profiles}
+    outcomes_by_name: Dict[str, Any] = {}
     try:
         context = multiprocessing.get_context("fork")
         with ProcessPoolExecutor(max_workers=campaign.config.workers,
                                  mp_context=context,
                                  initializer=_worker_init) as pool:
-            records = list(pool.map(_run_profile_worker, names))
+            futures = {pool.submit(_run_profile_worker, name): name
+                       for name in names}
+            for future in as_completed(futures):
+                name = futures[future]
+                # BrokenProcessPool propagates here: the bare backend
+                # cannot survive a hard-dead child.  Profiles journaled
+                # before the crash are already durable.
+                record = future.result()
+                outcome = profile_outcome_from_dict(record, tests_by_name)
+                commit_outcome(campaign, checkpoint, name, outcome)
+                outcomes_by_name[name] = outcome
     finally:
         _WORKER_STATE.clear()
-
-    outcomes: List[Any] = []
-    for profile, record in zip(profiles, records):
-        name = profile.test.full_name
-        outcome = profile_outcome_from_dict(record, tests_by_name)
-        # Replay shared-state effects the forked child could not apply:
-        # frequent-failure bookkeeping feeds both future blacklisting and
-        # the final report's blacklist section.
-        for result in outcome.results:
-            if result.verdict == CONFIRMED_UNSAFE:
-                for param in result.instance.params:
-                    campaign.tracker.record_unsafe(param, name)
-        if checkpoint is not None:
-            checkpoint.record_test_done(
-                name, outcome.results, outcome.stats, outcome.executions,
-                fault_counts=outcome.fault_counts, retries=outcome.retries,
-                error=outcome.error)
-        outcomes.append(outcome)
-    return outcomes
+    return [outcomes_by_name[name] for name in names]

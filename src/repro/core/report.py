@@ -50,6 +50,40 @@ class HypothesisTestingStats:
 
 
 @dataclass
+class SupervisionStats:
+    """What the supervised worker pool did to keep the campaign alive.
+
+    Run-scoped operational counters (how many workers this particular
+    run spawned, killed, respawned), *not* findings: a resumed campaign
+    legitimately reports different numbers here while reproducing the
+    same verdicts, so cross-run byte-identity comparisons should treat
+    this block as volatile.
+    """
+
+    #: the run used the supervised process pool (repro.core.supervise).
+    enabled: bool = False
+    workers_spawned: int = 0
+    #: worker processes that died (crash, rlimit kill, injected death).
+    crashes: int = 0
+    #: replacement workers forked after a death.
+    respawns: int = 0
+    #: profiles re-sent to a fresh worker after their worker died.
+    redeliveries: int = 0
+    #: workers SIGKILLed for exceeding the per-profile wall deadline.
+    deadline_kills: int = 0
+    #: workers SIGKILLed for missing heartbeats (frozen, not just slow).
+    heartbeat_kills: int = 0
+    #: workers retired and replaced to refresh per-profile rlimit budgets.
+    recycles: int = 0
+    #: profiles that exhausted redelivery (or hit the deadline) and were
+    #: recorded as WORKER_CRASH infra outcomes instead of retried.
+    quarantined: int = 0
+    #: >= crash_loop_threshold consecutive worker deaths: the supervisor
+    #: stopped dispatching and salvaged a partial report.
+    circuit_breaker_tripped: bool = False
+
+
+@dataclass
 class AppReport:
     """Everything one application's campaign produced."""
 
@@ -69,9 +103,18 @@ class AppReport:
     infra_retries_performed: int = 0
     #: tests whose profile run crashed and was contained (not aborted).
     degraded_tests: Tuple[str, ...] = ()
+    #: subset of degraded_tests whose worker *process* died (error_kind
+    #: WORKER_CRASH): quarantined poison profiles, deadline kills, and
+    #: profiles cut short by the circuit breaker.
+    quarantined_tests: Tuple[str, ...] = ()
+    #: per-test error text for degraded tests (full child traceback or
+    #: exit-signal description), keyed by test full name.
+    degraded_errors: Dict[str, str] = field(default_factory=dict)
     #: the campaign memoized executions (repro.core.execcache); counters
     #: live in pool_stats.exec_cache_*.
     exec_cache_enabled: bool = False
+    #: supervised-pool counters (all-zero when supervision was off).
+    supervision: SupervisionStats = field(default_factory=SupervisionStats)
 
     @property
     def reported_params(self) -> List[str]:
@@ -206,6 +249,20 @@ def app_report_to_dict(report: AppReport) -> Dict[str, object]:
             "fault_counts": dict(sorted(report.fault_counts.items())),
             "infra_retries_performed": report.infra_retries_performed,
             "degraded_tests": list(report.degraded_tests),
+            "quarantined_tests": list(report.quarantined_tests),
+        },
+        "supervision": {
+            "enabled": report.supervision.enabled,
+            "workers_spawned": report.supervision.workers_spawned,
+            "crashes": report.supervision.crashes,
+            "respawns": report.supervision.respawns,
+            "redeliveries": report.supervision.redeliveries,
+            "deadline_kills": report.supervision.deadline_kills,
+            "heartbeat_kills": report.supervision.heartbeat_kills,
+            "recycles": report.supervision.recycles,
+            "quarantined": report.supervision.quarantined,
+            "circuit_breaker_tripped":
+                report.supervision.circuit_breaker_tripped,
         },
     }
 

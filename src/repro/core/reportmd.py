@@ -63,6 +63,41 @@ def app_report_markdown(report: AppReport) -> str:
         stats_rows.append(["exec-cache bypasses", pool.exec_cache_bypasses])
     sections.append(_table(["metric", "value"], stats_rows))
     sections.append("")
+
+    supervision = report.supervision
+    if supervision.enabled:
+        sections.append("## Worker supervision")
+        sections.append(_table(["metric", "value"], [
+            ["workers spawned", supervision.workers_spawned],
+            ["worker crashes", supervision.crashes],
+            ["respawns", supervision.respawns],
+            ["profile redeliveries", supervision.redeliveries],
+            ["deadline kills", supervision.deadline_kills],
+            ["heartbeat kills", supervision.heartbeat_kills],
+            ["rlimit recycles", supervision.recycles],
+            ["profiles quarantined", supervision.quarantined],
+            ["circuit breaker tripped",
+             "**yes — partial report**" if supervision.circuit_breaker_tripped
+             else "no"],
+        ]))
+        sections.append("")
+
+    if report.degraded_tests:
+        sections.append("## Infrastructure failures")
+        quarantined = set(report.quarantined_tests)
+        sections.append(_table(["Unit test", "Failure"], [
+            ["`%s`" % name,
+             "worker crash (profile quarantined)" if name in quarantined
+             else "harness error (profile degraded)"]
+            for name in report.degraded_tests]))
+        sections.append("")
+        for name in report.degraded_tests:
+            error = report.degraded_errors.get(name, "")
+            if not error:
+                continue
+            sections.append("### `%s`" % name)
+            sections.append("```\n%s\n```" % error.rstrip("\n"))
+            sections.append("")
     return "\n".join(sections)
 
 

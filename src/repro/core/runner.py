@@ -36,6 +36,12 @@ SUSPICIOUS = "suspicious"                # first trial pattern matched
 CONFIRMED_UNSAFE = "confirmed-unsafe"    # hypothesis test significant
 FLAKY_DISMISSED = "flaky-dismissed"      # hypothesis test filtered it
 INFRA_ERROR = "infra-error"              # harness failed even after retries
+#: profile-level infra verdict: the worker *process* running the profile
+#: died (segfault/OOM/os._exit/deadline kill) and the supervisor
+#: quarantined the profile instead of aborting the campaign.  Lives in
+#: ProfileOutcome.error_kind, not InstanceResult.verdict: a dead worker
+#: produces no instances.
+WORKER_CRASH = "worker-crash"
 
 #: default simulated-time budget per execution: generous (a month of
 #: cluster time) so only genuinely runaway tests trip it.

@@ -9,6 +9,8 @@ and node-free unit tests.
 
 from __future__ import annotations
 
+import os
+import time
 from typing import Callable, List, Optional
 
 from repro.common.configuration import Configuration, ref_to_clone
@@ -117,6 +119,56 @@ def uncertain_conf_test(name: str = "TestSynth.testLateConf") -> UnitTest:
         late = SynthConfiguration()  # unmappable: nodes already exist
         if late.get_int("synth.safe-c") < 0:
             raise TestFailure("impossible")
+
+    return UnitTest(app="synth", name=name, fn=body)
+
+
+def _heterogeneous(first: Service, second: Service) -> bool:
+    """True only under heterogeneous configurations: the pre-run baseline
+    (homogeneous defaults) must survive, because it executes in the
+    *parent* process — only supervised workers may be sacrificed."""
+    return first.mode != second.mode or first.level != second.level
+
+
+def hard_crash_test(name: str = "TestSynth.testWorkerCrash",
+                    exit_code: int = 1) -> UnitTest:
+    """Kills the hosting *process* on any heterogeneous execution —
+    the supervised worker pool's poison-profile case."""
+    def body(ctx: TestContext) -> None:
+        conf = SynthConfiguration()
+        first = Service(conf)
+        second = Service(conf)
+        if _heterogeneous(first, second):
+            os._exit(exit_code)
+
+    return UnitTest(app="synth", name=name, fn=body)
+
+
+def hanging_test(name: str = "TestSynth.testRealTimeHang") -> UnitTest:
+    """Hangs in *real* time (sleep loop) on any heterogeneous execution:
+    invisible to the simulated-time watchdog, so only the supervisor's
+    wall-clock deadline can end it.  Heartbeats keep flowing (the child's
+    side thread still runs), so this exercises the deadline path, not the
+    frozen-process path."""
+    def body(ctx: TestContext) -> None:
+        conf = SynthConfiguration()
+        first = Service(conf)
+        second = Service(conf)
+        while _heterogeneous(first, second):
+            time.sleep(0.01)
+
+    return UnitTest(app="synth", name=name, fn=body)
+
+
+def spinning_test(name: str = "TestSynth.testCpuSpin") -> UnitTest:
+    """Burns CPU forever on any heterogeneous execution — bait for
+    RLIMIT_CPU's SIGXCPU (or, failing that, the wall-clock deadline)."""
+    def body(ctx: TestContext) -> None:
+        conf = SynthConfiguration()
+        first = Service(conf)
+        second = Service(conf)
+        while _heterogeneous(first, second):
+            pass
 
     return UnitTest(app="synth", name=name, fn=body)
 

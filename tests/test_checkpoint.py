@@ -85,11 +85,11 @@ class TestJournal:
         name = result.instance.test.full_name
         assert second.has_test(name)
         tests = {name: result.instance.test}
-        results, stats, executions, faults, retries, error = \
+        results, stats, executions, faults, retries, error, error_kind = \
             second.restore_test(name, tests)
         assert len(results) == 1 and results[0].verdict == result.verdict
         assert executions == 9 and faults == {"drop": 2} and retries == 1
-        assert error == ""
+        assert error == "" and error_kind == ""
 
     def test_torn_tail_line_is_discarded(self, tmp_path):
         path = str(tmp_path / "ck.jsonl")

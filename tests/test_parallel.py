@@ -18,7 +18,11 @@ from test_orchestrator import synthetic_campaign
 
 
 def full_dict(report):
-    return json.dumps(app_report_to_dict(report), sort_keys=True)
+    record = app_report_to_dict(report)
+    # Supervision counters are run-scoped operations (workers spawned,
+    # respawns...), not findings: backends legitimately differ there.
+    record.pop("supervision")
+    return json.dumps(record, sort_keys=True)
 
 
 def decoupled_config(**kw):
@@ -77,7 +81,7 @@ class TestProcessBackend:
             workers=2, parallel_backend="process", exec_cache=True)).run()
         normalize = lambda r: {  # noqa: E731
             k: v for k, v in app_report_to_dict(r).items()
-            if k not in ("exec_cache",)}
+            if k not in ("exec_cache", "supervision")}
         # Cache hit counts can differ (each worker owns a private forked
         # cache) but verdicts, stats, and executions-shape must not.
         assert (json.dumps(normalize(sequential), sort_keys=True)
