@@ -45,7 +45,7 @@ def _verdict_view(report):
     """The report minus run-cost bookkeeping: what soundness preserves."""
     record = app_report_to_dict(report)
     for volatile in ("executions", "machine_time_s", "exec_cache",
-                     "supervision"):
+                     "supervision", "cost_centers"):
         record.pop(volatile, None)
     return json.dumps(record, sort_keys=True)
 

@@ -1,0 +1,112 @@
+"""Observability overhead: observed vs unobserved campaign.
+
+The observability layer (``repro/core/observe.py``) hangs span and
+metric hooks off the runner, pooler, and orchestrator.  Two costs
+matter:
+
+* **disabled path** — campaigns run without ``--trace-spans`` /
+  ``--metrics-out`` pay only ``if obs is None`` checks; the design
+  target is < 2% over a build with no hooks at all, which in practice
+  means the unobserved wall time here must stay indistinguishable from
+  the pre-observability seed (CI tracks this via the tier-1 suite and
+  the archived artifact).
+* **enabled path** — full span + metric collection should stay cheap
+  relative to the simulated executions it wraps; measured here as the
+  observed/unobserved wall-clock ratio.
+
+The benchmark also asserts the two invariants that make the layer safe
+to leave on: observation never changes findings, and the exported
+metrics reconcile *exactly* with the report.
+
+Rows are written as a JSON artifact (path from the
+``OBSERVABILITY_BENCH_JSON`` environment variable, default
+``bench_observability.json``) so CI can archive the numbers per commit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.apps import catalog
+from repro.core.observe import (read_metrics_totals, reconcile_with_report,
+                                write_metrics_text)
+from repro.core.orchestrator import Campaign, CampaignConfig
+from repro.core.report import app_report_to_dict, render_table
+
+APP = "mapreduce"
+#: design target (documented, printed) vs CI gate (noise-tolerant).
+TARGET_OVERHEAD = 0.02
+MAX_OVERHEAD = 0.25
+
+
+def _run(observe):
+    spec = catalog.spec_for(APP)
+    campaign = Campaign(APP, spec.registry,
+                        dependency_rules=spec.dependency_rules,
+                        config=CampaignConfig(observe=observe))
+    started = time.time()
+    report = campaign.run()
+    return report, time.time() - started
+
+
+def _findings_view(report):
+    """The report minus run-scoped bookkeeping: what observation must
+    never change."""
+    record = app_report_to_dict(report)
+    for volatile in ("executions", "machine_time_s", "exec_cache",
+                     "supervision"):
+        record.pop(volatile, None)
+    return json.dumps(record, sort_keys=True)
+
+
+def measure(tmp_dir="."):
+    plain, plain_wall = _run(observe=False)
+    observed, observed_wall = _run(observe=True)
+    overhead = observed_wall / plain_wall - 1
+
+    metrics_path = os.path.join(tmp_dir, "bench_observability_metrics.prom")
+    write_metrics_text([(APP, observed.observation)], metrics_path)
+    problems = reconcile_with_report(read_metrics_totals(metrics_path),
+                                     app_report_to_dict(observed))
+    os.unlink(metrics_path)
+
+    return {
+        "app": APP,
+        "wall_unobserved_s": plain_wall,
+        "wall_observed_s": observed_wall,
+        "overhead_fraction": overhead,
+        "target_overhead_fraction": TARGET_OVERHEAD,
+        "spans": len(observed.observation.spans),
+        "reconciliation_problems": problems,
+        "findings_identical":
+            _findings_view(plain) == _findings_view(observed),
+    }
+
+
+def test_observability_overhead(benchmark):
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    print("\nObservability overhead (%s campaign, serial):" % rows["app"])
+    print(render_table(
+        ["metric", "value"],
+        [["wall unobserved", "%.2fs" % rows["wall_unobserved_s"]],
+         ["wall observed", "%.2fs" % rows["wall_observed_s"]],
+         ["overhead", "%.1f%% (disabled-path target < %.0f%%)"
+          % (100 * rows["overhead_fraction"], 100 * TARGET_OVERHEAD)],
+         ["spans collected", format(rows["spans"], ",")]]))
+
+    artifact = os.environ.get("OBSERVABILITY_BENCH_JSON",
+                              "bench_observability.json")
+    with open(artifact, "w") as sink:
+        json.dump(rows, sink, indent=2, sort_keys=True)
+    print("wrote %s" % artifact)
+
+    # observation may change what we can see, never what we find
+    assert rows["findings_identical"]
+    # the books must balance exactly: metrics == report
+    assert rows["reconciliation_problems"] == []
+    # noise-tolerant gate; the 2% disabled-path target is tracked via
+    # the archived artifact, not asserted on shared runners
+    assert rows["overhead_fraction"] < MAX_OVERHEAD

@@ -61,6 +61,22 @@ def build_parser() -> argparse.ArgumentParser:
                               help="run the paper's full evaluation "
                                    "(all six applications)")
     _add_campaign_flags(evaluate)
+
+    validate = sub.add_parser("validate-obs",
+                              help="schema-check observability artifacts "
+                                   "(--trace-spans / --trace-chrome / "
+                                   "--metrics-out outputs) and reconcile "
+                                   "the metrics against a --json report")
+    validate.add_argument("--spans", metavar="PATH",
+                          help="span JSONL to validate")
+    validate.add_argument("--chrome", metavar="PATH",
+                          help="Chrome trace_event JSON to validate")
+    validate.add_argument("--metrics", metavar="PATH",
+                          help="Prometheus-style snapshot to validate")
+    validate.add_argument("--report", metavar="JSON",
+                          help="campaign --json report; with --metrics, "
+                               "check that executions, cache hits, pool "
+                               "voids and worker respawns match exactly")
     return parser
 
 
@@ -174,6 +190,25 @@ def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
                                  "profile in between) that trip the "
                                  "supervisor's circuit breaker and halt the "
                                  "campaign with a partial report (default 5)")
+    observability = parser.add_argument_group(
+        "observability", "span tracing, metrics, live progress "
+                         "(docs/OBSERVABILITY.md)")
+    observability.add_argument("--trace-spans", metavar="PATH",
+                               help="write the hierarchical span trace "
+                                    "(app > profile > pool > instance > "
+                                    "trial, wall + modelled clocks) as "
+                                    "JSONL")
+    observability.add_argument("--trace-chrome", metavar="PATH",
+                               help="write a Chrome trace_event JSON "
+                                    "loadable in Perfetto / chrome://tracing")
+    observability.add_argument("--metrics-out", metavar="PATH",
+                               help="write a Prometheus-style metrics "
+                                    "snapshot (counters reconcile exactly "
+                                    "with the report)")
+    observability.add_argument("--progress", action="store_true",
+                               help="live one-line progress on stderr "
+                                    "(profiles done, executions, cache "
+                                    "hit-rate, voids, respawns)")
 
 
 def _fault_plan(args: argparse.Namespace) -> "Optional[FaultPlan]":
@@ -217,7 +252,11 @@ def _config(args: argparse.Namespace) -> CampaignConfig:
                             worker_rlimit_cpu_s=args.worker_rlimit_cpu,
                             worker_rlimit_mem_mb=args.worker_rlimit_mem,
                             worker_redelivery=args.worker_redelivery,
-                            crash_loop_threshold=args.crash_loop_threshold)
+                            crash_loop_threshold=args.crash_loop_threshold,
+                            observe=bool(args.trace_spans or args.trace_chrome
+                                         or args.metrics_out),
+                            progress_stream=(sys.stderr if args.progress
+                                             else None))
     if args.watchdog is not None:
         config.watchdog_sim_s = args.watchdog
     return config
@@ -227,6 +266,88 @@ def _write_trace(args: argparse.Namespace, config: CampaignConfig) -> None:
     if args.trace and config.trace is not None:
         count = config.trace.write_jsonl(args.trace)
         print("wrote %d trace events to %s" % (count, args.trace))
+
+
+def _write_observability(args: argparse.Namespace,
+                         reports: "List[AppReport]") -> None:
+    """Export spans/metrics collected by the campaign(s), if requested."""
+    if not (args.trace_spans or args.trace_chrome or args.metrics_out):
+        return
+    from repro.core.observe import (write_chrome_trace, write_metrics_text,
+                                    write_spans_jsonl)
+    pairs = [(r.app, r.observation) for r in reports
+             if r.observation is not None]
+    if args.trace_spans:
+        count = write_spans_jsonl(pairs, args.trace_spans)
+        print("wrote %d spans to %s" % (count, args.trace_spans))
+    if args.trace_chrome:
+        count = write_chrome_trace(pairs, args.trace_chrome)
+        print("wrote %d trace events to %s (open in Perfetto)"
+              % (count, args.trace_chrome))
+    if args.metrics_out:
+        count = write_metrics_text(pairs, args.metrics_out)
+        print("wrote %d metric samples to %s" % (count, args.metrics_out))
+
+
+def _summed_report(record: dict) -> dict:
+    """Collapse a campaign (multi-app) --json record into one app-shaped
+    record so reconciliation can compare it against the merged metrics."""
+    if "apps" not in record:
+        return record
+    total = {"executions": 0,
+             "exec_cache": {"hits": 0, "misses": 0},
+             "pool_stats": {"pool_voids": 0, "pool_runs": 0},
+             "supervision": {"respawns": 0}}
+    for app in record["apps"]:
+        total["executions"] += app.get("executions", 0)
+        cache = app.get("exec_cache", {})
+        total["exec_cache"]["hits"] += cache.get("hits", 0)
+        total["exec_cache"]["misses"] += cache.get("misses", 0)
+        pool = app.get("pool_stats", {})
+        total["pool_stats"]["pool_voids"] += pool.get("pool_voids", 0)
+        total["pool_stats"]["pool_runs"] += pool.get("pool_runs", 0)
+        supervision = app.get("supervision", {})
+        total["supervision"]["respawns"] += supervision.get("respawns", 0)
+    return total
+
+
+def _validate_obs(args: argparse.Namespace) -> int:
+    from repro.core.observe import (read_metrics_totals,
+                                    reconcile_with_report,
+                                    validate_chrome_trace,
+                                    validate_metrics_text,
+                                    validate_spans_jsonl)
+    if not (args.spans or args.chrome or args.metrics):
+        print("nothing to validate: pass --spans/--chrome/--metrics",
+              file=sys.stderr)
+        return 2
+    failures = 0
+    for label, path, validator in (
+            ("spans", args.spans, validate_spans_jsonl),
+            ("chrome trace", args.chrome, validate_chrome_trace),
+            ("metrics", args.metrics, validate_metrics_text)):
+        if not path:
+            continue
+        try:
+            count = validator(path)
+        except (OSError, ValueError) as exc:
+            print("%s: INVALID — %s" % (label, exc), file=sys.stderr)
+            failures += 1
+        else:
+            print("%s: OK (%d records) — %s" % (label, count, path))
+    if args.report and args.metrics and failures == 0:
+        with open(args.report) as handle:
+            record = _summed_report(json.load(handle))
+        problems = reconcile_with_report(read_metrics_totals(args.metrics),
+                                         record)
+        if problems:
+            for problem in problems:
+                print("reconciliation: MISMATCH — %s" % problem,
+                      file=sys.stderr)
+            failures += 1
+        else:
+            print("reconciliation: OK (metrics match the report exactly)")
+    return 1 if failures else 0
 
 
 def _print_app_report(report: AppReport) -> None:
@@ -252,6 +373,9 @@ def _print_app_report(report: AppReport) -> None:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+
+    if args.command == "validate-obs":
+        return _validate_obs(args)
 
     if args.command == "list-apps":
         corpus = load_all_suites()
@@ -329,6 +453,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 handle.write(app_report_markdown(report))
             print("wrote %s" % args.markdown)
         _write_trace(args, config)
+        _write_observability(args, [report])
         if args.compare:
             from repro.core.baseline import compare_to_baseline, load_baseline
             diff = compare_to_baseline(report, load_baseline(args.compare))
@@ -365,6 +490,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 handle.write(campaign_report_markdown(report))
             print("wrote %s" % args.markdown)
         _write_trace(args, config)
+        _write_observability(args, report.apps)
         return 0
 
     return 2  # pragma: no cover - argparse enforces choices

@@ -5,6 +5,9 @@ from repro.core.confagent import (NO_OVERRIDE, UNIT_TEST, ConfAgent, NullAgent,
 from repro.core.depinfer import (InferredDependency, infer_dependencies,
                                  infer_rules_for_corpus)
 from repro.core.integration import FileAssignment, integration_session
+from repro.core.observe import (METRIC_CATALOG, MetricsRegistry, Observation,
+                                phase_costs, write_chrome_trace,
+                                write_metrics_text, write_spans_jsonl)
 from repro.core.orchestrator import (Campaign, CampaignConfig,
                                      application_campaigns, run_full_campaign)
 from repro.core.pooling import FrequentFailureTracker, PooledTester
@@ -25,5 +28,7 @@ __all__ = [
     "HeteroAssignment", "ParamAssignment", "TestGenerator", "TestInstance",
     "ParamVerdict", "triage_param", "triage_report", "InferredDependency",
     "infer_dependencies", "infer_rules_for_corpus", "FileAssignment",
-    "integration_session",
+    "integration_session", "METRIC_CATALOG", "MetricsRegistry", "Observation",
+    "phase_costs", "write_chrome_trace", "write_metrics_text",
+    "write_spans_jsonl",
 ]

@@ -199,6 +199,13 @@ class ExecutionCache:
         with self._lock:
             return len(self._seeded)
 
+    def tier_sizes(self) -> Dict[str, int]:
+        """Entry counts by tier, read in one lock acquisition (for the
+        end-of-campaign ``zc_runtime_exec_cache_entries`` gauge)."""
+        with self._lock:
+            return {"deterministic": len(self._deterministic),
+                    "seeded": len(self._seeded)}
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._deterministic) + len(self._seeded)

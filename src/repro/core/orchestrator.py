@@ -19,13 +19,16 @@ from repro.common.params import ParamRegistry
 from repro.core.confagent import UNIT_TEST
 from repro.core.checkpoint import CampaignCheckpoint
 from repro.core.execcache import ExecutionCache
+from repro.core.observe import MetricsRegistry, Observation, ProgressReporter
 from repro.core.pooling import FrequentFailureTracker, PooledTester, PoolStats
 from repro.core.prerun import PreRunSummary, TestProfile, prerun_corpus
 from repro.core.registry import CORPUS, Corpus, UnitTest
-from repro.core.report import (AppReport, CampaignReport, HypothesisTestingStats,
-                               StageCounts, SupervisionStats)
+from repro.core.report import (AppReport, CampaignReport, CostCenter,
+                               HypothesisTestingStats, StageCounts,
+                               SupervisionStats)
 from repro.core.runner import (CONFIRMED_UNSAFE, DEFAULT_WATCHDOG_SIM_S,
-                               FLAKY_DISMISSED, InstanceResult, TestRunner)
+                               FLAKY_DISMISSED, WORKER_CRASH, InstanceResult,
+                               TestRunner)
 from repro.core.stats import DEFAULT_ALPHA
 from repro.core.testgen import DependencyRule, TestGenerator
 from repro.core.triage import ParamVerdict, triage_report
@@ -33,6 +36,37 @@ from repro.core.triage import ParamVerdict, triage_report
 #: ProfileOutcome.error_kind for an exception contained *in-process*
 #: (the worker/thread survived; partial accounting was preserved).
 HARNESS_ERROR = "harness-error"
+
+#: PoolStats field -> deterministic metric name.  Driven off the stats
+#: object so the observability layer and the report always agree (the
+#: reconciliation check in repro.core.observe depends on it).
+_POOL_METRICS = {
+    "pool_runs": "zc_pool_runs_total",
+    "bisection_runs": "zc_bisection_runs_total",
+    "singleton_instances": "zc_singleton_instances_total",
+    "pools_cleared": "zc_pools_cleared_total",
+    "params_cleared_in_pools": "zc_params_cleared_in_pools_total",
+    "interference_events": "zc_interference_events_total",
+    "blacklist_skips": "zc_blacklist_skips_total",
+    "already_confirmed_skips": "zc_already_confirmed_skips_total",
+    "pool_voids": "zc_pool_voids_total",
+    "pool_infra_giveups": "zc_pool_infra_giveups_total",
+    "exec_cache_hits": "zc_exec_cache_hits_total",
+    "exec_cache_misses": "zc_exec_cache_misses_total",
+    "exec_cache_bypasses": "zc_exec_cache_bypasses_total",
+}
+
+#: SupervisionStats field -> volatile (run-scoped) metric name.
+_SUPERVISION_METRICS = {
+    "workers_spawned": "zc_runtime_workers_spawned_total",
+    "crashes": "zc_runtime_worker_crashes_total",
+    "respawns": "zc_runtime_respawns_total",
+    "redeliveries": "zc_runtime_redeliveries_total",
+    "deadline_kills": "zc_runtime_deadline_kills_total",
+    "heartbeat_kills": "zc_runtime_heartbeat_kills_total",
+    "recycles": "zc_runtime_worker_recycles_total",
+    "quarantined": "zc_runtime_quarantined_total",
+}
 
 
 @dataclass
@@ -98,6 +132,14 @@ class CampaignConfig:
     #: a side thread, so plain CPU-bound work keeps beating; only a
     #: genuinely stopped process (SIGSTOP, stuck syscall) goes silent.
     heartbeat_timeout_s: float = 30.0
+    #: collect spans + metrics (repro.core.observe).  The campaign's
+    #: Observation lands on AppReport.observation; the CLI's
+    #: --trace-spans/--trace-chrome/--metrics-out flags export it.
+    observe: bool = False
+    #: stream for the live one-line progress display (usually stderr;
+    #: None = no progress line).  Implies observation: the line is fed
+    #: from the metrics registry at every profile commit.
+    progress_stream: Optional[Any] = None
 
     def param_allowed(self, name: str) -> bool:
         return self.only_params is None or name in self.only_params
@@ -143,6 +185,10 @@ class ProfileOutcome:
     #: in-process exception, runner.WORKER_CRASH for a worker process
     #: that died (quarantine, deadline kill, circuit-breaker halt).
     error_kind: str = ""
+    #: Observation.to_wire() dict from the profile's runner when the
+    #: observability layer is on (crosses the process/supervision wire
+    #: with the rest of the outcome); None otherwise.
+    observation: Optional[Dict[str, Any]] = None
 
 
 class Campaign:
@@ -166,6 +212,11 @@ class Campaign:
         #: supervised-pool counters for the current run (reset in _run;
         #: filled by repro.core.supervise when the supervisor is used).
         self.supervision = SupervisionStats()
+        #: campaign-level Observation for the current run (None when the
+        #: observability layer is off).
+        self.observation: Optional[Observation] = None
+        self._progress: Optional[ProgressReporter] = None
+        self._app_span: Optional[Any] = None
 
     # ------------------------------------------------------------------
     def run(self) -> AppReport:
@@ -176,8 +227,43 @@ class Campaign:
         finally:
             set_ipc_sharing(previous_sharing)
 
+    def _observing(self) -> bool:
+        return (self.config.observe
+                or self.config.progress_stream is not None)
+
     def _run(self) -> AppReport:
-        profiles = prerun_corpus(self.tests)
+        if not self._observing():
+            self.observation = None
+            return self._run_inner()
+        self.observation = Observation(metrics=MetricsRegistry(
+            constant_labels={"app": self.app}))
+        if self.config.progress_stream is not None:
+            self._progress = ProgressReporter(self.config.progress_stream,
+                                              self.app)
+        try:
+            with self.observation.span(self.app, kind="app") as root:
+                self._app_span = root
+                return self._run_inner()
+        finally:
+            self._app_span = None
+            if self._progress is not None:
+                self._progress.close(self._progress_snapshot())
+                self._progress = None
+
+    def _run_inner(self) -> AppReport:
+        obs = self.observation
+        if obs is not None:
+            with obs.span("prerun", kind="prerun") as prerun_span:
+                profiles = prerun_corpus(self.tests)
+                # one instrumented execution per corpus test
+                obs.advance_sim(len(profiles) * self.config.run_cost_s)
+                prerun_span.attrs["tests"] = len(profiles)
+            obs.metrics.counter_inc("zc_prerun_executions_total",
+                                    len(profiles))
+            obs.metrics.counter_inc("zc_machine_seconds_total",
+                                    len(profiles) * self.config.run_cost_s)
+        else:
+            profiles = prerun_corpus(self.tests)
         usable = [p for p in profiles if p.usable]
         stage_counts = self._stage_counts(profiles, usable)
         checkpoint = self._open_checkpoint()
@@ -194,12 +280,15 @@ class Campaign:
         # one bit for bit.
         outcome_by_test: Dict[str, ProfileOutcome] = {}
         pending: List[TestProfile] = []
+        if self._progress is not None:
+            self._progress.total = len(usable)
         for profile in usable:
             name = profile.test.full_name
             if checkpoint is not None and checkpoint.has_test(name):
                 outcome = self._restore_profile(checkpoint, name,
                                                 tests_by_name)
                 outcome_by_test[name] = outcome
+                self._profile_committed(outcome, restored=True)
             else:
                 pending.append(profile)
 
@@ -215,12 +304,14 @@ class Campaign:
             fresh = run_profiles_parallel(self, pending, checkpoint,
                                           tests_by_name)
         else:
-            fresh = [self._run_profile_contained(p, checkpoint)
-                     for p in pending]
+            fresh = []
+            for profile in pending:
+                outcome = self._run_profile_contained(profile, checkpoint)
+                self._profile_committed(outcome)
+                fresh.append(outcome)
         for profile, outcome in zip(pending, fresh):
             outcome_by_test[profile.test.full_name] = outcome
 
-        from repro.core.runner import WORKER_CRASH
         results: List[InstanceResult] = []
         pool_stats = PoolStats()
         executions = len(profiles)  # pre-run executions count as runs too
@@ -250,6 +341,10 @@ class Campaign:
         verdicts = triage_report(results_by_param, self.registry,
                                  blacklisted=self.tracker.blacklisted)
         self._emit_trace(profiles, results, verdicts, executions)
+        cost_centers = self._cost_centers(usable, outcome_by_test)
+        if self.observation is not None:
+            self._assemble_spans(usable, outcome_by_test)
+            self._finalize_runtime_metrics()
         return AppReport(
             app=self.app,
             stage_counts=stage_counts,
@@ -267,7 +362,9 @@ class Campaign:
             quarantined_tests=tuple(quarantined),
             degraded_errors=degraded_errors,
             exec_cache_enabled=self.config.exec_cache,
-            supervision=self.supervision)
+            supervision=self.supervision,
+            cost_centers=cost_centers,
+            observation=self.observation)
 
     # ------------------------------------------------------------------
     # execution cache
@@ -346,19 +443,180 @@ class Campaign:
         return outcome
 
     # ------------------------------------------------------------------
+    # observability (repro.core.observe)
+    # ------------------------------------------------------------------
+    def _fill_profile_metrics(self, metrics: MetricsRegistry,
+                              runner: TestRunner, stats: PoolStats) -> None:
+        """Bulk metric fill for one fresh profile, sourced from the same
+        runner/PoolStats counters the report totals use — that is what
+        makes the snapshot reconcile with the report *exactly*."""
+        machine = runner.machine_time_s
+        if runner.executions:
+            metrics.counter_inc("zc_executions_total", runner.executions)
+        if machine:
+            metrics.counter_inc("zc_machine_seconds_total", machine)
+        if runner.backoff_cost_s:
+            metrics.counter_inc("zc_backoff_seconds_total",
+                                runner.backoff_cost_s)
+        if runner.retries_performed:
+            metrics.counter_inc("zc_infra_retries_total",
+                                runner.retries_performed)
+        for kind, count in sorted(runner.fault_counts.items()):
+            metrics.counter_inc("zc_faults_injected_total", count, kind=kind)
+        for field_name, metric in _POOL_METRICS.items():
+            value = getattr(stats, field_name)
+            if value:
+                metrics.counter_inc(metric, value)
+        metrics.hist_observe("zc_profile_machine_seconds", machine)
+
+    def _replay_profile_metrics(self, metrics: MetricsRegistry,
+                                outcome: ProfileOutcome) -> None:
+        """Rebuild a profile's metrics from its journaled numbers (a
+        checkpoint-restored profile, or a crashed worker that never
+        shipped an observation).  Backoff cost is not journaled, so the
+        machine-seconds replay is executions x run_cost_s — the same
+        definition the report's machine_time_s uses."""
+        run_cost = self.config.run_cost_s
+        if outcome.executions:
+            metrics.counter_inc("zc_executions_total", outcome.executions)
+            metrics.counter_inc("zc_machine_seconds_total",
+                                outcome.executions * run_cost)
+        if outcome.retries:
+            metrics.counter_inc("zc_infra_retries_total", outcome.retries)
+        for kind, count in sorted(outcome.fault_counts.items()):
+            metrics.counter_inc("zc_faults_injected_total", count, kind=kind)
+        for field_name, metric in _POOL_METRICS.items():
+            value = getattr(outcome.stats, field_name)
+            if value:
+                metrics.counter_inc(metric, value)
+        for result in outcome.results:
+            metrics.counter_inc("zc_instance_verdicts_total",
+                                verdict=result.verdict)
+            metrics.hist_observe("zc_instance_executions",
+                                 result.executions)
+            metrics.hist_observe("zc_instance_machine_seconds",
+                                 result.executions * run_cost)
+        metrics.hist_observe("zc_profile_machine_seconds",
+                             outcome.executions * run_cost)
+
+    def _profile_committed(self, outcome: ProfileOutcome,
+                           restored: bool = False) -> None:
+        """Fold one finished profile into the live campaign observation.
+
+        Called from the serial loop, checkpoint restore, and
+        ``parallel.commit_outcome`` (thread/process/supervised backends)
+        — always on the parent's committing thread, in completion order.
+        Metric merges are commutative, so that order does not affect the
+        final snapshot; spans are adopted later, in profile order.
+        """
+        obs = self.observation
+        if obs is not None:
+            wire = outcome.observation
+            if wire is not None:
+                obs.metrics.merge_wire(wire.get("metrics", {}))
+                root = next((s for s in wire.get("spans", ())
+                             if s.get("parent_id") is None), None)
+                if root is not None:
+                    obs.metrics.hist_observe(
+                        "zc_runtime_profile_wall_seconds",
+                        max(root["wall_end"] - root["wall_start"], 0.0))
+            else:
+                self._replay_profile_metrics(obs.metrics, outcome)
+            if restored:
+                status = "restored"
+            elif outcome.error_kind == WORKER_CRASH:
+                status = "quarantined"
+            elif outcome.error:
+                status = "degraded"
+            else:
+                status = "completed"
+            obs.metrics.counter_inc("zc_profiles_total", status=status)
+        if self._progress is not None:
+            self._progress.tick(self._progress_snapshot())
+
+    def _progress_snapshot(self) -> Dict[str, Any]:
+        metrics = self.observation.metrics
+        return {
+            "done": int(metrics.total("zc_profiles_total")),
+            "executions": int(metrics.total("zc_executions_total")
+                              + metrics.total("zc_prerun_executions_total")),
+            "cache_hits": int(metrics.total("zc_exec_cache_hits_total")),
+            "cache_misses": int(metrics.total("zc_exec_cache_misses_total")),
+            "pool_voids": int(metrics.total("zc_pool_voids_total")),
+            "respawns": self.supervision.respawns,
+            "quarantined": self.supervision.quarantined,
+        }
+
+    def _assemble_spans(self, usable: Sequence[TestProfile],
+                        outcome_by_test: Mapping[str, ProfileOutcome]
+                        ) -> None:
+        """Graft per-profile span trees under the app root in *profile*
+        order (not completion order), laying them on one modelled
+        timeline so the span tree is identical across backends."""
+        obs = self.observation
+        run_cost = self.config.run_cost_s
+        for profile in usable:
+            name = profile.test.full_name
+            outcome = outcome_by_test[name]
+            wire = outcome.observation
+            if wire is not None:
+                obs.adopt_spans(wire, parent=self._app_span)
+            else:
+                # restored from a checkpoint, or the worker died before
+                # shipping spans: account the modelled time it burned
+                attrs: Dict[str, Any] = {"synthetic": True}
+                if outcome.error_kind:
+                    attrs["error_kind"] = outcome.error_kind
+                with obs.span(name, kind="profile", **attrs):
+                    obs.advance_sim(outcome.executions * run_cost)
+
+    def _finalize_runtime_metrics(self) -> None:
+        """End-of-run volatile metrics: supervision counters and cache
+        occupancy (both depend on how the campaign ran, not on what it
+        found — hence the zc_runtime_* namespace)."""
+        metrics = self.observation.metrics
+        for field_name, metric in _SUPERVISION_METRICS.items():
+            value = getattr(self.supervision, field_name)
+            if value:
+                metrics.counter_inc(metric, value)
+        if self._cache is not None:
+            for tier, size in sorted(self._cache.tier_sizes().items()):
+                metrics.gauge_max("zc_runtime_exec_cache_entries", size,
+                                  tier=tier)
+
+    def _cost_centers(self, usable: Sequence[TestProfile],
+                      outcome_by_test: Mapping[str, ProfileOutcome],
+                      limit: int = 10) -> Tuple[CostCenter, ...]:
+        """The most expensive unit tests, by executions burned."""
+        centers = [CostCenter(test=profile.test.full_name,
+                              executions=outcome.executions,
+                              machine_time_s=(outcome.executions
+                                              * self.config.run_cost_s),
+                              instances=len(outcome.results))
+                   for profile in usable
+                   for outcome in (outcome_by_test[profile.test.full_name],)]
+        centers.sort(key=lambda center: (-center.executions, center.test))
+        return tuple(centers[:limit])
+
+    # ------------------------------------------------------------------
     def _emit_trace(self, profiles, results, verdicts, executions) -> None:
         trace = self.config.trace
         if trace is None:
             return
+        # Campaign-summary events all fire after the last execution, so
+        # they share the campaign's final modelled timestamp (each
+        # event's ``seq`` keeps their relative order deterministic).
+        sim_end = executions * self.config.run_cost_s
         for profile in profiles:
-            trace.emit("prerun", app=self.app, test=profile.test.full_name,
+            trace.emit("prerun", sim_at=sim_end,
+                       app=self.app, test=profile.test.full_name,
                        usable=profile.usable,
                        groups=dict(profile.groups),
                        uncertain_params=sorted(profile.uncertain_params),
                        baseline_error=profile.baseline_error)
         for result in results:
             tally = result.tally
-            trace.emit("instance", app=self.app,
+            trace.emit("instance", sim_at=sim_end, app=self.app,
                        test=result.instance.test.full_name,
                        params=list(result.instance.params),
                        group=result.instance.group,
@@ -371,9 +629,11 @@ class Campaign:
                            "homo": [tally.homo_failures, tally.homo_trials],
                            "p_value": tally.p_value()})
         for param in sorted(self.tracker.blacklisted):
-            trace.emit("blacklist", app=self.app, param=param,
+            trace.emit("blacklist", sim_at=sim_end, app=self.app,
+                       param=param,
                        failing_tests=self.tracker.failure_count(param))
-        trace.emit("campaign", app=self.app, executions=executions,
+        trace.emit("campaign", sim_at=sim_end, app=self.app,
+                   executions=executions,
                    reported=[v.param for v in verdicts],
                    true_problems=[v.param for v in verdicts
                                   if v.is_true_problem])
@@ -382,7 +642,27 @@ class Campaign:
     def _run_test_profile(self, profile: TestProfile,
                           checkpoint: Optional[CampaignCheckpoint] = None
                           ) -> ProfileOutcome:
-        """All pooled testing for one unit test (parallelism granule)."""
+        """All pooled testing for one unit test (parallelism granule).
+
+        With observation on, the profile gets its *own* Observation —
+        single-threaded by construction whether it runs in the serial
+        loop, a worker thread, or a forked worker — serialised onto the
+        outcome so the parent can merge it deterministically.
+        """
+        if not self._observing():
+            return self._profile_body(profile, checkpoint, None)
+        obs = Observation(metrics=MetricsRegistry(
+            constant_labels={"app": self.app}))
+        with obs.span(profile.test.full_name, kind="profile") as span:
+            outcome = self._profile_body(profile, checkpoint, obs)
+            if outcome.error_kind:
+                span.attrs["error_kind"] = outcome.error_kind
+        outcome.observation = obs.to_wire()
+        return outcome
+
+    def _profile_body(self, profile: TestProfile,
+                      checkpoint: Optional[CampaignCheckpoint],
+                      obs: Optional[Observation]) -> ProfileOutcome:
         runner = TestRunner(alpha=self.config.alpha,
                             max_trials=self.config.max_trials,
                             run_cost_s=self.config.run_cost_s,
@@ -392,7 +672,8 @@ class Campaign:
                             trace=self.config.trace,
                             registry=self.registry,
                             cache=self._cache,
-                            collapse_exclude=profile.explicit_sets)
+                            collapse_exclude=profile.explicit_sets,
+                            observe=obs)
         on_result = None if checkpoint is None else checkpoint.record_instance
         tester = PooledTester(runner, tracker=self.tracker,
                               max_pool_size=self.config.max_pool_size,
@@ -433,6 +714,8 @@ class Campaign:
         stats.exec_cache_hits += runner.cache_hits
         stats.exec_cache_misses += runner.cache_misses
         stats.exec_cache_bypasses += runner.cache_bypasses
+        if obs is not None:
+            self._fill_profile_metrics(obs.metrics, runner, stats)
         return ProfileOutcome(results=results, stats=stats,
                               executions=runner.executions,
                               fault_counts=dict(runner.fault_counts),

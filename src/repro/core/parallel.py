@@ -74,6 +74,9 @@ def profile_outcome_to_dict(outcome: Any) -> Dict[str, Any]:
         "retries": outcome.retries,
         "error": outcome.error,
         "error_kind": outcome.error_kind,
+        # Observation.to_wire() dict (spans + metrics + sim clock) when
+        # the observability layer is on; already JSON-able.
+        "observation": outcome.observation,
     }
 
 
@@ -89,7 +92,8 @@ def profile_outcome_from_dict(record: Mapping[str, Any],
                       for k, v in record["fault_counts"].items()},
         retries=int(record["retries"]),
         error=str(record["error"]),
-        error_kind=str(record.get("error_kind", "")))
+        error_kind=str(record.get("error_kind", "")),
+        observation=record.get("observation"))
 
 
 # ---------------------------------------------------------------------------
@@ -149,6 +153,9 @@ def commit_outcome(campaign: Any, checkpoint: Optional[Any], name: str,
             name, outcome.results, outcome.stats, outcome.executions,
             fault_counts=outcome.fault_counts, retries=outcome.retries,
             error=outcome.error, error_kind=outcome.error_kind)
+    # Live observability fold (metrics merge + progress tick); span
+    # adoption happens later in deterministic profile order.
+    campaign._profile_committed(outcome)
 
 
 def run_profiles_in_processes(campaign: Any, profiles: Sequence[Any],

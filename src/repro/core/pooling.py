@@ -142,6 +142,22 @@ class PooledTester:
                   units: List[ParamAssignment], depth: int) -> List[InstanceResult]:
         if not units:
             return []
+        obs = getattr(self.runner, "obs", None)
+        if obs is None or len(units) == 1:
+            return self._run_pool_inner(test, group, strategy, units, depth)
+        kind = "pool" if depth == 0 else "bisection"
+        metrics = obs.metrics
+        if depth == 0:
+            metrics.hist_observe("zc_pool_size", len(units))
+        else:
+            metrics.gauge_max("zc_pool_max_depth", depth)
+        with obs.span(test.full_name, kind=kind, size=len(units),
+                      depth=depth, params=[u.param for u in units]):
+            return self._run_pool_inner(test, group, strategy, units, depth)
+
+    def _run_pool_inner(self, test: UnitTest, group: str, strategy: str,
+                        units: List[ParamAssignment],
+                        depth: int) -> List[InstanceResult]:
         if len(units) == 1:
             param = units[0].param
             confirmed_here = self._confirmed_on_test.setdefault(test.full_name,

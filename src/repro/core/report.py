@@ -84,6 +84,22 @@ class SupervisionStats:
 
 
 @dataclass
+class CostCenter:
+    """Where a campaign's machine time went, per unit test.
+
+    Computed from the same per-profile accounting the totals use, so
+    the rows always sum into ``AppReport.executions`` (minus prerun) —
+    deterministic across backends, available even when the observability
+    layer is off.
+    """
+
+    test: str
+    executions: int
+    machine_time_s: float
+    instances: int
+
+
+@dataclass
 class AppReport:
     """Everything one application's campaign produced."""
 
@@ -115,6 +131,13 @@ class AppReport:
     exec_cache_enabled: bool = False
     #: supervised-pool counters (all-zero when supervision was off).
     supervision: SupervisionStats = field(default_factory=SupervisionStats)
+    #: most expensive unit tests first (see CostCenter); () before the
+    #: campaign computed them.
+    cost_centers: Tuple[CostCenter, ...] = ()
+    #: the campaign-level repro.core.observe.Observation when the
+    #: observability layer was on, else None.  Deliberately excluded
+    #: from app_report_to_dict: exporters own the serialised forms.
+    observation: Optional[object] = None
 
     @property
     def reported_params(self) -> List[str]:
@@ -251,6 +274,12 @@ def app_report_to_dict(report: AppReport) -> Dict[str, object]:
             "degraded_tests": list(report.degraded_tests),
             "quarantined_tests": list(report.quarantined_tests),
         },
+        "cost_centers": [
+            {"test": center.test, "executions": center.executions,
+             "machine_time_s": center.machine_time_s,
+             "instances": center.instances}
+            for center in report.cost_centers
+        ],
         "supervision": {
             "enabled": report.supervision.enabled,
             "workers_spawned": report.supervision.workers_spawned,

@@ -64,6 +64,26 @@ def app_report_markdown(report: AppReport) -> str:
     sections.append(_table(["metric", "value"], stats_rows))
     sections.append("")
 
+    if report.cost_centers:
+        sections.append("## Top cost centers")
+        sections.append(_table(
+            ["Unit test", "Executions", "Modelled hours", "Instances"],
+            [["`%s`" % center.test, format(center.executions, ","),
+              "%.1f" % (center.machine_time_s / 3600), center.instances]
+             for center in report.cost_centers]))
+        sections.append("")
+
+    if report.observation is not None:
+        from repro.core.observe import phase_costs
+        rows = phase_costs(report.observation)
+        if rows:
+            sections.append("## Where time went")
+            sections.append(_table(
+                ["Phase", "Spans", "Modelled hours (self time)"],
+                [[kind, count, "%.1f" % (self_s / 3600)]
+                 for kind, count, self_s in rows]))
+            sections.append("")
+
     supervision = report.supervision
     if supervision.enabled:
         sections.append("## Worker supervision")

@@ -123,7 +123,8 @@ class TestRunner:
                  trace: Optional[Any] = None,
                  registry: Optional[Any] = None,
                  cache: Optional[ExecutionCache] = None,
-                 collapse_exclude: Iterable[str] = ()) -> None:
+                 collapse_exclude: Iterable[str] = (),
+                 observe: Optional[Any] = None) -> None:
         self.alpha = alpha
         self.max_trials = max_trials
         #: charged per execution when estimating machine time; the paper's
@@ -151,6 +152,10 @@ class TestRunner:
         #: pre-run: injecting their default would shadow the set, so the
         #: default-value collapse must not apply to them.
         self.collapse_exclude = frozenset(collapse_exclude)
+        #: optional repro.core.observe.Observation: trial/instance spans,
+        #: metric histograms, and the deterministic sim clock (advanced
+        #: run_cost_s per execution plus retry backoff).
+        self.obs = observe
         self.executions = 0
         self.retries_performed = 0
         #: execution-cache counters for this runner's share of the work.
@@ -189,6 +194,26 @@ class TestRunner:
         ``canonical`` lets callers that already computed the content form
         avoid recomputing it.
         """
+        if self.obs is None:
+            return self._execute(test, assignment, seed, canonical)
+        before = self.executions
+        with self.obs.span(test.full_name, kind="trial",
+                           seed=seed) as span:
+            outcome = self._execute(test, assignment, seed, canonical)
+            span.attrs["ok"] = outcome.ok
+            if self.executions == before:
+                span.attrs["cached"] = True
+            if outcome.retries:
+                span.attrs["retries"] = outcome.retries
+            if outcome.infra:
+                span.attrs["infra"] = True
+            if outcome.timed_out:
+                span.attrs["timed_out"] = True
+        return outcome
+
+    def _execute(self, test: UnitTest, assignment: Optional[Any],
+                 seed: int, canonical: Optional[Tuple[Any, ...]] = None
+                 ) -> RunOutcome:
         if self.cache is not None:
             if canonical is None:
                 canonical = self.canonical_form(assignment)
@@ -196,7 +221,9 @@ class TestRunner:
             if cached is not None:
                 self.cache_hits += 1
                 if self.trace is not None:
-                    self.trace.emit("exec-cache-hit", test=test.full_name,
+                    self.trace.emit("exec-cache-hit",
+                                    sim_at=self.machine_time_s,
+                                    test=test.full_name,
                                     seed=seed, ok=cached.ok)
                 return cached
             self.cache_misses += 1
@@ -207,8 +234,11 @@ class TestRunner:
             backoff = INFRA_BACKOFF_BASE_S * (2 ** (attempt - 1))
             self.backoff_cost_s += backoff
             self.retries_performed += 1
+            if self.obs is not None:
+                self.obs.advance_sim(backoff)
             if self.trace is not None:
-                self.trace.emit("retry", test=test.full_name, seed=seed,
+                self.trace.emit("retry", sim_at=self.machine_time_s,
+                                test=test.full_name, seed=seed,
                                 attempt=attempt, backoff_s=backoff,
                                 error=outcome.error_message)
             outcome = self._execute_once(test, assignment, seed,
@@ -224,6 +254,8 @@ class TestRunner:
     def _execute_once(self, test: UnitTest, assignment: Optional[Any],
                       seed: int, attempt: int) -> RunOutcome:
         self.executions += 1
+        if self.obs is not None:
+            self.obs.advance_sim(self.run_cost_s)
         agent = ConfAgent(assignment=assignment, record_usage=False)
         rng = _TrackedRandom(seed)
         ctx = TestContext(rng=rng, trial=seed)
@@ -258,7 +290,8 @@ class TestRunner:
             trace = self.trace
 
             def on_fault(kind: str, data: Dict[str, Any]) -> None:
-                trace.emit("fault", test=test.full_name, seed=seed,
+                trace.emit("fault", sim_at=self.machine_time_s,
+                           test=test.full_name, seed=seed,
                            attempt=attempt, fault=kind, **data)
 
         # Each (execution, attempt) draws its own schedule so hetero and
@@ -301,6 +334,24 @@ class TestRunner:
     # full instance evaluation
     # ------------------------------------------------------------------
     def evaluate(self, instance: TestInstance) -> InstanceResult:
+        if self.obs is None:
+            return self._evaluate(instance)
+        with self.obs.span(instance.test.full_name, kind="instance",
+                           group=instance.group,
+                           strategy=instance.strategy,
+                           params=list(instance.params)) as span:
+            result = self._evaluate(instance)
+            span.attrs["verdict"] = result.verdict
+            span.attrs["executions"] = result.executions
+        metrics = self.obs.metrics
+        metrics.counter_inc("zc_instance_verdicts_total",
+                            verdict=result.verdict)
+        metrics.hist_observe("zc_instance_executions", result.executions)
+        metrics.hist_observe("zc_instance_machine_seconds",
+                             result.executions * self.run_cost_s)
+        return result
+
+    def _evaluate(self, instance: TestInstance) -> InstanceResult:
         start = self.executions
         hetero, homos = self.first_trial(instance.test, instance.assignment)
         if hetero.infra or any(h.infra for h in homos):

@@ -448,6 +448,12 @@ class Supervisor:
         self._retire(worker)
         self.stats.crashes += 1
         self.consecutive_crashes += 1
+        obs = self.campaign.observation
+        if obs is not None:
+            # Instant span on the campaign timeline; only emitted on a
+            # death, so healthy-run span trees stay backend-identical.
+            obs.event("worker-death", kind="supervisor", exit=reason,
+                      task=worker.task)
         if worker.task is not None:
             name, delivery = worker.task, worker.delivery
             worker.task = None
@@ -526,6 +532,10 @@ class Supervisor:
         parallel.commit_outcome(self.campaign, self.checkpoint, name, outcome)
         self.outcomes[name] = outcome
         self.stats.quarantined += 1
+        obs = self.campaign.observation
+        if obs is not None:
+            obs.event("quarantine", kind="supervisor", test=name,
+                      reason=reason)
         trace = self.campaign.config.trace
         if trace is not None:
             trace.emit("worker-quarantine", app=self.campaign.app,

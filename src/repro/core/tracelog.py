@@ -12,13 +12,20 @@ Event kinds:
 * ``instance``  — one per evaluated singleton instance: verdict + trials
 * ``blacklist`` — a parameter crossed the frequent-failure threshold
 * ``campaign``  — the closing summary
+
+Every event carries two timestamps: ``at`` is wall-clock ``time.time()``
+(useful for correlating with host logs, but nondeterministic), while
+``sim_at`` is modelled machine time — cumulative executions x
+``run_cost_s`` plus backoff at the moment of emission — which is a pure
+function of campaign content.  Deterministic tests should assert on
+``(kind, seq, sim_at)``, never on ``at``.
 """
 
 from __future__ import annotations
 
 import json
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional
 
 
@@ -27,9 +34,15 @@ class TraceEvent:
     kind: str
     at: float
     data: Dict[str, Any]
+    #: emission index within this log (deterministic tiebreak when two
+    #: events share a sim timestamp)
+    seq: int = 0
+    #: modelled machine seconds at emission; deterministic
+    sim_at: float = 0.0
 
     def to_dict(self) -> Dict[str, Any]:
-        return {"kind": self.kind, "at": self.at, **self.data}
+        return {"kind": self.kind, "at": self.at, "seq": self.seq,
+                "sim_at": self.sim_at, **self.data}
 
 
 class TraceLog:
@@ -38,8 +51,15 @@ class TraceLog:
     def __init__(self) -> None:
         self.events: List[TraceEvent] = []
 
-    def emit(self, kind: str, **data: Any) -> TraceEvent:
-        event = TraceEvent(kind=kind, at=time.time(), data=data)
+    def emit(self, kind: str, sim_at: Optional[float] = None,
+             **data: Any) -> TraceEvent:
+        """Record an event.  Emitters that know the modelled clock pass
+        ``sim_at``; others inherit the latest known sim time so the
+        sim-timeline stays monotone."""
+        if sim_at is None:
+            sim_at = self.events[-1].sim_at if self.events else 0.0
+        event = TraceEvent(kind=kind, at=time.time(), data=data,
+                           seq=len(self.events), sim_at=sim_at)
         self.events.append(event)
         return event
 
@@ -73,5 +93,9 @@ class TraceLog:
                 record = json.loads(line)
                 kind = record.pop("kind")
                 at = record.pop("at")
-                log.events.append(TraceEvent(kind=kind, at=at, data=record))
+                # both fields absent in pre-observability trace files
+                seq = record.pop("seq", len(log.events))
+                sim_at = record.pop("sim_at", 0.0)
+                log.events.append(TraceEvent(kind=kind, at=at, data=record,
+                                             seq=seq, sim_at=sim_at))
         return log

@@ -80,3 +80,52 @@ class TestCampaignCommand:
                      "--blacklist-threshold", "2",
                      "--disable-ipc-sharing"]) == 0
         assert "reported" in capsys.readouterr().out
+
+
+class TestObservabilityFlags:
+    def test_campaign_exports_validate_and_reconcile(self, capsys, tmp_path):
+        spans = str(tmp_path / "spans.jsonl")
+        chrome = str(tmp_path / "chrome.json")
+        metrics = str(tmp_path / "metrics.prom")
+        report = str(tmp_path / "report.json")
+        assert main(["campaign", "flink", "--exec-cache",
+                     "--trace-spans", spans, "--trace-chrome", chrome,
+                     "--metrics-out", metrics, "--json", report]) == 0
+        out = capsys.readouterr().out
+        assert "spans to" in out and "metric samples to" in out
+
+        assert main(["validate-obs", "--spans", spans, "--chrome", chrome,
+                     "--metrics", metrics, "--report", report]) == 0
+        out = capsys.readouterr().out
+        assert out.count("OK") >= 3
+        assert "reconciliation: OK" in out
+
+    def test_validate_obs_flags_corrupt_artifact(self, capsys, tmp_path):
+        spans = tmp_path / "spans.jsonl"
+        spans.write_text('{"span_id": "not an int"}\n')
+        assert main(["validate-obs", "--spans", str(spans)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_validate_obs_without_artifacts_is_usage_error(self, capsys):
+        assert main(["validate-obs"]) == 2
+        assert "nothing to validate" in capsys.readouterr().err
+
+    def test_validate_obs_reports_reconciliation_mismatch(self, capsys,
+                                                          tmp_path):
+        metrics = tmp_path / "metrics.prom"
+        metrics.write_text(
+            "# HELP zc_executions_total x\n"
+            "# TYPE zc_executions_total counter\n"
+            "zc_executions_total 5\n")
+        report = tmp_path / "report.json"
+        report.write_text(json.dumps({"executions": 99}))
+        assert main(["validate-obs", "--metrics", str(metrics),
+                     "--report", str(report)]) == 1
+        err = capsys.readouterr().err
+        assert "MISMATCH" in err and "metrics say 5, report says 99" in err
+
+    def test_progress_renders_a_live_line_on_stderr(self, capsys):
+        assert main(["campaign", "flink", "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "[flink] profiles" in err
+        assert err.endswith("\n")

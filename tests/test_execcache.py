@@ -257,6 +257,7 @@ def normalized_report(report):
     record.pop("executions")
     record.pop("machine_time_s")
     record.pop("exec_cache")
+    record.pop("cost_centers")
     return json.dumps(record, sort_keys=True)
 
 

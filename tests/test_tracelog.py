@@ -44,6 +44,39 @@ class TestTraceLogBasics:
         assert len(loaded) == 2
         assert loaded.of_kind("instance")[0].data["params"] == ["p"]
 
+    def test_seq_is_the_emission_index(self):
+        log = TraceLog()
+        assert [log.emit("a").seq, log.emit("b").seq,
+                log.emit("a").seq] == [0, 1, 2]
+
+    def test_sim_at_carries_forward_when_not_supplied(self):
+        log = TraceLog()
+        assert log.emit("a").sim_at == 0.0
+        assert log.emit("b", sim_at=120.0).sim_at == 120.0
+        # an emitter that does not know the modelled clock inherits the
+        # latest known sim time instead of resetting the timeline
+        assert log.emit("c").sim_at == 120.0
+
+    def test_round_trip_preserves_seq_and_sim_at(self, tmp_path):
+        log = TraceLog()
+        log.emit("a", sim_at=60.0, x=1)
+        log.emit("b", x=2)
+        path = tmp_path / "trace.jsonl"
+        log.write_jsonl(str(path))
+        loaded = TraceLog.read_jsonl(str(path))
+        assert [(e.kind, e.seq, e.sim_at) for e in loaded] == \
+            [("a", 0, 60.0), ("b", 1, 60.0)]
+        assert loaded.events[0].data == {"x": 1}
+
+    def test_reads_pre_observability_trace_files(self, tmp_path):
+        # trace files written before seq/sim_at existed must still load
+        path = tmp_path / "old.jsonl"
+        path.write_text('{"kind": "instance", "at": 1.5, "verdict": "pass"}\n'
+                        '{"kind": "campaign", "at": 2.5}\n')
+        loaded = TraceLog.read_jsonl(str(path))
+        assert [(e.seq, e.sim_at) for e in loaded] == [(0, 0.0), (1, 0.0)]
+        assert loaded.of_kind("instance")[0].data == {"verdict": "pass"}
+
 
 class TestCampaignTracing:
     def test_prerun_events_cover_every_test(self, traced_report):
@@ -78,6 +111,26 @@ class TestCampaignTracing:
         assert summary.data["true_problems"] == sorted(
             v.param for v in report.true_problems)
         assert summary.data["executions"] == report.executions
+
+    def test_sim_timeline_is_monotone_and_deterministic(self):
+        def run():
+            trace = TraceLog()
+            Campaign("synth", SYNTH_REGISTRY,
+                     tests=[two_service_test(), no_node_test()],
+                     config=CampaignConfig(trace=trace)).run()
+            return trace
+
+        first, second = run(), run()
+        sims = [e.sim_at for e in first]
+        assert sims == sorted(sims)  # modelled clock never goes backwards
+        assert sims[-1] > 0
+        assert [(e.kind, e.seq, e.sim_at) for e in first] == \
+            [(e.kind, e.seq, e.sim_at) for e in second]
+
+    def test_campaign_summary_sim_at_matches_machine_time(self, traced_report):
+        trace, report = traced_report
+        summary = trace.of_kind("campaign")[-1]
+        assert summary.sim_at == report.executions * 60.0
 
     def test_no_trace_means_no_overhead(self):
         campaign = Campaign("synth", SYNTH_REGISTRY,
