@@ -1,0 +1,154 @@
+"""Simulation-kernel microbenchmarks: the fast path versus the legacy path.
+
+Every unit-test execution in the reproduction is pure scheduling work on
+:class:`repro.common.simulation.Simulator`, so kernel overhead multiplies
+through the runner, the pooled tester, and every parallel backend.  This
+bench isolates the three kernel optimisations behind
+``repro.perf.FAST_PATH`` and measures each against the legacy path on
+identical workloads:
+
+1. **cancel-heavy** — the heartbeat/timeout-reset pattern (ipc timeouts,
+   node heartbeats, bandwidth throttling): a monitor cancels and
+   re-arms a deadline timer on every tick.  Legacy lazily deletes
+   cancelled entries only when popped, so the heap bloats and every
+   push/pop pays ``log`` of the bloated size; the fast path compacts the
+   heap once cancelled entries dominate.
+2. **pending-scan** — ``Simulator.pending_events()``, O(1) live counter
+   versus the legacy O(n) heap scan.
+3. **wire-encode** — repeated identical layered frames (codec /
+   encryption / ssl headers) served from the encode memo versus
+   re-encoded from scratch.
+
+Raw event throughput is also recorded (absolute, host-dependent — a
+trajectory number, not a baselined one).  The measured rows land in
+``BENCH_simkernel.json``; the committed speedup baselines under
+``benchmarks/baselines/`` fail the bench on a >10% regression.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _shared import check_against_baseline, write_bench_artifact
+from repro import perf
+from repro.common.simulation import PeriodicTask, Simulator
+from repro.common.wire import clear_wire_memo, encode_payload
+from repro.core.report import render_table
+
+ARTIFACT = "BENCH_simkernel.json"
+
+
+def _timed(fn, *args):
+    started = time.perf_counter()
+    result = fn(*args)
+    return result, time.perf_counter() - started
+
+
+def _ab(fn, *args):
+    """Run ``fn`` with the fast path off then on; return (legacy, fast)."""
+    previous = perf.set_fast_path(False)
+    try:
+        clear_wire_memo()
+        _, legacy = _timed(fn, *args)
+        perf.set_fast_path(True)
+        clear_wire_memo()
+        result, fast = _timed(fn, *args)
+    finally:
+        perf.set_fast_path(previous)
+    return result, legacy, fast
+
+
+def cancel_heavy(resets: int) -> int:
+    """Heartbeat monitor: every tick cancels and re-arms its deadline."""
+    sim = Simulator()
+    state = {"deadline": None, "expired": 0}
+
+    def expire() -> None:
+        state["expired"] += 1
+
+    def beat() -> None:
+        if state["deadline"] is not None:
+            state["deadline"].cancel()
+        state["deadline"] = sim.schedule(600.0, expire)
+
+    task = PeriodicTask(sim, lambda: 1.0, beat)
+    sim.run_until(float(resets))
+    task.stop()
+    assert state["expired"] == 0  # the monitor always reset in time
+    return sim.pending_events()
+
+
+def pending_scan(live: int, calls: int) -> int:
+    sim = Simulator()
+    for _ in range(live):
+        sim.schedule(1.0, int)
+    total = 0
+    for _ in range(calls):
+        total += sim.pending_events()
+    assert total == live * calls
+    return total
+
+
+def wire_encode(frames: int) -> int:
+    payload = {"method": "sendHeartbeat", "node": "dn-0", "blocks": 128}
+    total = 0
+    for _ in range(frames):
+        total += len(encode_payload(payload, codec="gzip",
+                                    encryption_key=b"sasl-privacy-wrap"))
+    return total
+
+
+def event_throughput(events: int) -> float:
+    sim = Simulator()
+    for i in range(events):
+        sim.schedule(float(i % 97), int)
+    _, wall = _timed(sim.run)
+    return events / wall if wall else float("inf")
+
+
+def measure() -> dict:
+    rows = {}
+
+    _, legacy, fast = _ab(cancel_heavy, 20000)
+    rows["cancel_heavy"] = {"resets": 20000, "wall_legacy_s": legacy,
+                            "wall_fast_s": fast,
+                            "speedup": legacy / fast}
+
+    _, legacy, fast = _ab(pending_scan, 2000, 2000)
+    rows["pending_scan"] = {"live_timers": 2000, "calls": 2000,
+                            "wall_legacy_s": legacy, "wall_fast_s": fast,
+                            "speedup": legacy / fast}
+
+    _, legacy, fast = _ab(wire_encode, 20000)
+    rows["wire_encode"] = {"frames": 20000, "wall_legacy_s": legacy,
+                           "wall_fast_s": fast,
+                           "speedup": legacy / fast}
+
+    rows["event_throughput"] = {"events": 50000,
+                                "events_per_s": event_throughput(50000)}
+    return rows
+
+
+def test_simkernel_fast_path(benchmark):
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    print("\nSimulation-kernel fast path (FAST_PATH on vs off):")
+    print(render_table(
+        ["microbench", "legacy", "fast", "speedup"],
+        [[name,
+          "%.3fs" % row["wall_legacy_s"], "%.3fs" % row["wall_fast_s"],
+          "%.2fx" % row["speedup"]]
+         for name, row in rows.items() if "speedup" in row]))
+    print("raw event throughput: %.0f events/s"
+          % rows["event_throughput"]["events_per_s"])
+
+    write_bench_artifact(ARTIFACT, rows)
+
+    # The kernel win the tentpole promises: every fast-path mechanism
+    # must beat the legacy path on its own workload.
+    assert rows["cancel_heavy"]["speedup"] > 1.0
+    assert rows["pending_scan"]["speedup"] > 1.0
+    assert rows["wire_encode"]["speedup"] > 1.0
+
+    regressions = check_against_baseline(ARTIFACT, rows)
+    assert not regressions, "\n".join(regressions)

@@ -90,6 +90,12 @@ def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
                         help="how --workers fans out unit-test profiles: "
                              "GIL-bound threads (default) or forked "
                              "processes (true parallelism)")
+    parser.add_argument("--schedule", choices=("lpt", "catalog"),
+                        default="lpt",
+                        help="dispatch order for --workers > 1: "
+                             "longest-predicted-first from the cost model "
+                             "(default) or legacy catalog order; findings "
+                             "are identical either way")
     parser.add_argument("--exec-cache", action="store_true",
                         help="memoize executions in a content-addressed "
                              "cache, so identical homogeneous baselines and "
@@ -247,6 +253,7 @@ def _config(args: argparse.Namespace) -> CampaignConfig:
                             infra_retries=args.infra_retries,
                             exec_cache=args.exec_cache,
                             parallel_backend=args.parallel_backend,
+                            schedule=args.schedule,
                             supervise=args.supervise,
                             profile_deadline_s=args.profile_deadline,
                             worker_rlimit_cpu_s=args.worker_rlimit_cpu,

@@ -27,7 +27,7 @@ from typing import Any, Callable, Dict, Generator, Optional, Tuple
 from repro.common.configuration import Configuration
 from repro.common.errors import RpcError, SocketTimeout
 from repro.common.faults import current_injector
-from repro.common.wire import decode_payload, encode_payload, negotiate_sasl
+from repro.common.wire import negotiate_sasl, roundtrip_payload
 
 #: Parameters the shared IPC component reads both ways (the four
 #: IPC-related false-positive parameters of §7.1).
@@ -60,10 +60,16 @@ def ipc_sharing_enabled() -> bool:
     return _IPC_SHARING_ENABLED
 
 
+# Shared constant dicts: _wire_opts is on the per-RPC hot path and the
+# options are only ever splatted into encode/decode (never mutated).
+_PRIVACY_OPTS: Dict[str, Any] = {"encryption_key": b"sasl-privacy-wrap"}
+_PLAIN_OPTS: Dict[str, Any] = {}
+
+
 def _wire_opts(protection: str) -> Dict[str, Any]:
     if protection == "privacy":
-        return {"encryption_key": b"sasl-privacy-wrap"}
-    return {}
+        return _PRIVACY_OPTS
+    return _PLAIN_OPTS
 
 
 class RpcServer:
@@ -127,15 +133,14 @@ class RpcClient:
         if self.ipc is not None:
             self.ipc.check_connection_params(self.conf)
         opts = _wire_opts(level)
-        request = decode_payload(
-            encode_payload({"method": method, "args": list(args)}, **opts), **opts)
+        request = roundtrip_payload({"method": method, "args": list(args)},
+                                    **opts)
         if injector.duplicate_message(what):
             # at-least-once delivery: the server processes the request
             # twice; non-idempotent handlers corrupt state accordingly.
             server._dispatch(request["method"], request["args"])
         result = server._dispatch(request["method"], request["args"])
-        return decode_payload(encode_payload({"result": result}, **opts),
-                              **opts)["result"]
+        return roundtrip_payload({"result": result}, **opts)["result"]
 
     def call_timed(self, server: RpcServer, method: str, args: Tuple[Any, ...],
                    duration: float) -> Generator:
@@ -178,8 +183,7 @@ class RpcClient:
             remaining -= work
         opts = _wire_opts(level)
         result = server._dispatch(method, list(args))
-        return decode_payload(encode_payload({"result": result}, **opts),
-                              **opts)["result"]
+        return roundtrip_payload({"result": result}, **opts)["result"]
 
 
 class IpcComponent:

@@ -29,9 +29,12 @@ order (a monotonically increasing sequence number breaks ties).
 from __future__ import annotations
 
 import heapq
+import threading
 from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Any, Callable, Generator, Iterator, List, Optional, Tuple
+
+import repro.perf as perf
 
 
 class SimulationError(Exception):
@@ -47,6 +50,37 @@ class SimTimeLimitExceeded(SimulationError):
 #: Simulated-time budget inherited by every Simulator created in scope.
 _TIME_LIMIT: ContextVar[Optional[float]] = ContextVar(
     "sim_time_limit", default=None)
+
+
+class _KernelStats(threading.local):
+    """Volatile per-thread counters for the ``zc_runtime_sim_*`` metrics.
+
+    Thread-local so concurrently running profiles on the thread backend
+    attribute their own deltas; forked process workers inherit a private
+    copy.  These feed *volatile* metrics only — they describe how much
+    work the kernel avoided, never the simulated outcome.
+    """
+
+    def __init__(self) -> None:
+        self.timers_cancelled = 0
+        self.heap_compactions = 0
+        self.timers_compacted = 0
+
+
+KERNEL_STATS = _KernelStats()
+
+
+def kernel_stats_snapshot() -> Tuple[int, int, int]:
+    """(cancelled, compactions, compacted-entries) for the calling thread."""
+    stats = KERNEL_STATS
+    return (stats.timers_cancelled, stats.heap_compactions,
+            stats.timers_compacted)
+
+
+#: Compaction trigger: sweep the heap once at least this many cancelled
+#: entries are buried in it *and* they outnumber the live ones.  Small
+#: heaps never compact (the sweep would cost more than the pops saved).
+COMPACT_MIN_CANCELLED = 64
 
 
 @contextmanager
@@ -146,18 +180,34 @@ class Event:
 
 
 class Timer:
-    """Handle for a scheduled callback; supports cancellation."""
+    """Handle for a scheduled callback; supports cancellation.
 
-    __slots__ = ("_cancelled", "when", "callback", "args")
+    ``_sim`` back-references the owning simulator *while the timer sits in
+    its heap* so a cancel can be accounted O(1); it is detached the moment
+    the entry is popped (fired or swept).  A ``cancel()`` that arrives
+    after that — a handle kept across the timer firing, or outliving the
+    simulator the test tore down — degrades to a pure flag write instead
+    of corrupting the live-timer count.
+    """
 
-    def __init__(self, when: float, callback: Callable[..., Any], args: Tuple[Any, ...]):
+    __slots__ = ("_cancelled", "when", "callback", "args", "_sim")
+
+    def __init__(self, when: float, callback: Callable[..., Any],
+                 args: Tuple[Any, ...], sim: Optional["Simulator"] = None):
         self._cancelled = False
         self.when = when
         self.callback = callback
         self.args = args
+        self._sim = sim
 
     def cancel(self) -> None:
+        if self._cancelled:
+            return
         self._cancelled = True
+        sim = self._sim
+        if sim is not None:
+            self._sim = None
+            sim._note_cancel()
 
     @property
     def cancelled(self) -> bool:
@@ -244,10 +294,18 @@ class Process:
 class Simulator:
     """Deterministic event loop over simulated seconds."""
 
+    __slots__ = ("_now", "_seq", "_heap", "_live", "_cancelled_in_heap",
+                 "crashed_processes", "time_limit", "jitter_fn")
+
     def __init__(self) -> None:
         self._now = 0.0
         self._seq = 0
         self._heap: List[Tuple[float, int, Timer]] = []
+        #: number of heap entries whose timer is not cancelled — kept
+        #: exact so pending_events() is O(1) instead of an O(n) scan.
+        self._live = 0
+        #: cancelled entries still buried in the heap; drives compaction.
+        self._cancelled_in_heap = 0
         self.crashed_processes: List[Tuple[Process, BaseException]] = []
         #: watchdog: raise once the loop would advance past this instant.
         self.time_limit: Optional[float] = _TIME_LIMIT.get()
@@ -268,10 +326,42 @@ class Simulator:
             raise ValueError("delay must be non-negative, got %r" % delay)
         if self.jitter_fn is not None and delay > 0:
             delay = self.jitter_fn(delay)
-        timer = Timer(self._now + delay, callback, args)
-        self._seq += 1
-        heapq.heappush(self._heap, (timer.when, self._seq, timer))
+        timer = Timer(self._now + delay, callback, args, self)
+        self._seq = seq = self._seq + 1
+        heapq.heappush(self._heap, (timer.when, seq, timer))
+        self._live += 1
         return timer
+
+    def _note_cancel(self) -> None:
+        """O(1) accounting for a timer cancelled while still in the heap."""
+        self._live -= 1
+        cancelled = self._cancelled_in_heap = self._cancelled_in_heap + 1
+        KERNEL_STATS.timers_cancelled += 1
+        # Heartbeat/timeout-reset patterns cancel timers far faster than
+        # the loop pops them; once the dead entries dominate, sweep them
+        # in one pass instead of paying log(bloated n) on every push/pop.
+        if (cancelled >= COMPACT_MIN_CANCELLED and cancelled > self._live
+                and perf.FAST_PATH):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries from the heap, **in place**.
+
+        ``run()`` holds a local reference to the heap list while callbacks
+        execute, and a callback's ``cancel()`` can trigger this sweep
+        mid-run — so the list object must survive (slice-assign, never
+        rebind).  Entry order within the heap may change, but pops are
+        ordered by the ``(when, seq)`` keys, which are untouched:
+        observable event order is identical.
+        """
+        heap = self._heap
+        survivors = [entry for entry in heap if not entry[2]._cancelled]
+        swept = len(heap) - len(survivors)
+        heap[:] = survivors
+        heapq.heapify(heap)
+        self._cancelled_in_heap = 0
+        KERNEL_STATS.heap_compactions += 1
+        KERNEL_STATS.timers_compacted += swept
 
     def event(self) -> Event:
         return Event(self)
@@ -367,21 +457,34 @@ class Simulator:
             until_done: Optional[Process] = None) -> None:
         """Process events until the heap drains, ``max_time`` passes, or
         ``until_done`` completes."""
-        while self._heap:
-            if until_done is not None and until_done.done:
+        # The loop dominates every unit-test execution, so its hot names
+        # are bound locally.  ``heap`` stays valid across _compact(),
+        # which mutates the list in place rather than rebinding it.
+        heap = self._heap
+        heappop = heapq.heappop
+        time_limit = self.time_limit
+        while heap:
+            if until_done is not None and until_done._done:
                 return
-            when, _, timer = self._heap[0]
+            entry = heap[0]
+            when = entry[0]
             if when > max_time:
                 self._now = max_time
                 return
-            heapq.heappop(self._heap)
-            if timer.cancelled:
+            heappop(heap)
+            timer = entry[2]
+            if timer._cancelled:
+                self._cancelled_in_heap -= 1
                 continue
-            if self.time_limit is not None and when > self.time_limit:
-                self._now = self.time_limit
+            # Detach before firing: a cancel() on this handle from now on
+            # must not decrement the live count a second time.
+            timer._sim = None
+            self._live -= 1
+            if time_limit is not None and when > time_limit:
+                self._now = time_limit
                 raise SimTimeLimitExceeded(
                     "simulation exceeded its %.0fs simulated-time budget"
-                    % self.time_limit)
+                    % time_limit)
             self._now = when
             timer.callback(*timer.args)
         if max_time != float("inf"):
@@ -398,6 +501,8 @@ class Simulator:
         self.run_until(self._now + duration)
 
     def pending_events(self) -> int:
+        if perf.FAST_PATH:
+            return self._live
         return sum(1 for _, _, t in self._heap if not t.cancelled)
 
 
@@ -409,6 +514,9 @@ class PeriodicTask:
     immediately honours the new cadence — this mirrors daemons that sleep
     ``conf.get(...)`` milliseconds per loop iteration.
     """
+
+    __slots__ = ("sim", "interval_fn", "callback", "jitter_fn", "_stopped",
+                 "_timer")
 
     def __init__(self, sim: Simulator, interval_fn: Callable[[], float],
                  callback: Callable[[], Any], jitter_fn: Optional[Callable[[], float]] = None,

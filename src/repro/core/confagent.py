@@ -46,6 +46,8 @@ from contextvars import ContextVar
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+import repro.perf as perf
+
 #: Pseudo node type representing the unit test itself (§6.1: "the unit
 #: test itself is treated as a 'client' node in ZebraConf").
 UNIT_TEST = "__unit_test__"
@@ -55,6 +57,10 @@ UNCERTAIN = "__uncertain__"
 
 #: Sentinel returned by ``intercept_get`` when no value is injected.
 NO_OVERRIDE = object()
+
+#: Distinct miss marker for the per-(conf, name) get memo — NO_OVERRIDE
+#: itself is a legitimate memoised value.
+_MEMO_MISS = object()
 
 
 @dataclass
@@ -127,6 +133,10 @@ class ConfAgent:
 
     active = True
 
+    #: Whether intercept_get may memoise its decision per (conf, name).
+    #: Subclasses with call-dependent resolution must disable this.
+    _memo_gets = True
+
     def __init__(self, assignment: Optional[Any] = None,
                  record_usage: bool = False) -> None:
         self.assignment = assignment
@@ -157,6 +167,18 @@ class ConfAgent:
         self._in_ref_clone = False
         self._token = None
         self._conf_factory: Optional[Any] = None
+        #: conf id -> (node_type, node_index) memo for _resolve, the
+        #: hottest lookup in the system (once per intercepted get).  Every
+        #: ownership mutation below pops the affected ids.
+        self._resolve_cache: Dict[int, Tuple[str, int]] = {}
+        #: conf id -> {param name -> injected value or NO_OVERRIDE}: the
+        #: full injection decision per (conf, name).  Exact because the
+        #: assignment is immutable for the agent's lifetime and the
+        #: decision otherwise depends only on the conf's owner — every
+        #: ownership mutation invalidates through _forget_conf.  Not used
+        #: while recording usage (pre-run) nor by ThreadOwnershipAgent,
+        #: whose resolution is thread-dependent.
+        self._get_memo: Dict[int, Dict[str, Any]] = {}
 
     # ------------------------------------------------------------------
     # session scoping
@@ -199,6 +221,9 @@ class ConfAgent:
     def new_conf(self, conf: Any) -> None:
         if self._in_ref_clone:
             return  # the clone made by ref_to_clone_conf is registered there
+        # A brand-new conf may reuse the id of a dead, never-pinned conf
+        # (one created outside the agent scope) that already has a memo.
+        self._forget_conf(id(conf))
         self._pinned.append(conf)
         record = self._initializing_node()
         if record is not None:  # Rule 1.1
@@ -212,6 +237,8 @@ class ConfAgent:
         if self._in_ref_clone:
             return
         self._pinned.append(new)
+        self._forget_conf(id(orig))
+        self._forget_conf(id(new))
         self.parent_to_child[id(new)] = id(orig)
         # Rule 3: the clone belongs wherever the source belongs (or vice
         # versa if only the clone is known, which cannot happen for a
@@ -239,6 +266,7 @@ class ConfAgent:
             self._in_ref_clone = False
         self._pinned.append(clone)
         # Rule 2: clone -> node; original -> unit test.
+        self._forget_conf(id(clone))
         record.conf_ids.add(id(clone))
         if record.parent_conf_id is None:
             record.parent_conf_id = id(conf)
@@ -252,6 +280,7 @@ class ConfAgent:
         seen = set()
         while conf_id is not None and conf_id not in seen:
             seen.add(conf_id)
+            self._forget_conf(conf_id)
             self.uncertain_confs.discard(conf_id)
             if not self._owned_by_node(conf_id):
                 self.unit_test_confs.add(conf_id)
@@ -271,6 +300,7 @@ class ConfAgent:
         return None
 
     def _assign(self, conf_id: int, owner: str) -> None:
+        self._forget_conf(conf_id)
         self.uncertain_confs.discard(conf_id)
         if owner == UNIT_TEST:
             self.unit_test_confs.add(conf_id)
@@ -284,25 +314,51 @@ class ConfAgent:
         """(node_type, node_index) owning ``conf``; UNIT_TEST/UNCERTAIN
         pseudo-entities use index 0."""
         conf_id = id(conf)
+        if perf.FAST_PATH:
+            cached = self._resolve_cache.get(conf_id)
+            if cached is not None:
+                return cached
         for rec in self.node_table.values():
             if conf_id in rec.conf_ids:
-                return rec.node_type, rec.node_index
-        if conf_id in self.unit_test_confs:
-            return UNIT_TEST, 0
-        return UNCERTAIN, 0
+                result = (rec.node_type, rec.node_index)
+                break
+        else:
+            if conf_id in self.unit_test_confs:
+                result = (UNIT_TEST, 0)
+            else:
+                result = (UNCERTAIN, 0)
+        if perf.FAST_PATH:
+            self._resolve_cache[conf_id] = result
+        return result
+
+    def _forget_conf(self, conf_id: int) -> None:
+        """Drop every per-conf memo; called on any ownership mutation."""
+        self._resolve_cache.pop(conf_id, None)
+        self._get_memo.pop(conf_id, None)
 
     def intercept_get(self, conf: Any, name: str) -> Any:
+        memoize = (perf.FAST_PATH and self._memo_gets
+                   and not self.record_usage)
+        if memoize:
+            memo = self._get_memo.get(id(conf))
+            if memo is not None:
+                value = memo.get(name, _MEMO_MISS)
+                if value is not _MEMO_MISS:
+                    return value
         node_type, node_index = self._resolve(conf)
         if self.record_usage:
             self.usage.setdefault(node_type, set()).add(name)
             if node_type == UNCERTAIN:
                 self.uncertain_params.add(name)
+        result = NO_OVERRIDE
         if self.assignment is not None and node_type != UNCERTAIN:
             value = self.assignment.value_for(node_type, node_index, name)
             if value is not NO_OVERRIDE:
                 self.injected_reads += 1
-                return value
-        return NO_OVERRIDE
+                result = value
+        if memoize:
+            self._get_memo.setdefault(id(conf), {})[name] = result
+        return result
 
     def intercept_set(self, conf: Any, name: str, value: Any) -> None:
         """Write-through to the parent conf (§6.3, interceptSet logic).
@@ -350,6 +406,11 @@ class ThreadOwnershipAgent(ConfAgent):
     this agent misattributes reads to the unit test.  The ablation
     measures how often its answer differs from the rule-based agent's.
     """
+
+    #: Resolution depends on the calling thread and every call counts a
+    #: potential misattribution — per-(conf, name) memoisation would
+    #: change both, so it stays off.
+    _memo_gets = False
 
     def __init__(self, assignment: Optional[Any] = None,
                  record_usage: bool = False) -> None:

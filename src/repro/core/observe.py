@@ -166,6 +166,12 @@ METRIC_CATALOG: Dict[str, MetricSpec] = {
         buckets=_POOL_SIZE_BUCKETS),
     "zc_pool_max_depth": MetricSpec(
         "gauge", "Deepest bisection recursion reached."),
+    "zc_sched_predicted_executions_total": MetricSpec(
+        "counter", "Cost-model predicted executions summed over usable "
+        "profiles (analytic, emitted identically on every backend)."),
+    "zc_sched_prediction_error_executions_total": MetricSpec(
+        "counter", "Sum of |predicted - actual| executions over usable "
+        "profiles: the cost model's absolute forecasting error."),
     # -- volatile: depends on backend/host, excluded from the
     # -- deterministic snapshot (rendered only with include_volatile)
     "zc_runtime_workers_spawned_total": MetricSpec(
@@ -196,6 +202,16 @@ METRIC_CATALOG: Dict[str, MetricSpec] = {
     "zc_runtime_exec_cache_entries": MetricSpec(
         "gauge", "Execution-cache entries at campaign end, by tier "
         "(cache sharing differs per backend).", volatile=True),
+    "zc_runtime_sim_timers_cancelled_total": MetricSpec(
+        "counter", "Simulation timers cancelled while still in a heap "
+        "(kernel fast-path accounting; run-shape dependent).",
+        volatile=True),
+    "zc_runtime_sim_heap_compactions_total": MetricSpec(
+        "counter", "Threshold-triggered simulation-heap compaction "
+        "sweeps.", volatile=True),
+    "zc_runtime_sim_timers_compacted_total": MetricSpec(
+        "counter", "Cancelled heap entries removed by compaction sweeps.",
+        volatile=True),
 }
 
 

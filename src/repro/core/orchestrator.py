@@ -16,8 +16,10 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from repro.common.faults import FaultPlan
 from repro.common.node import NODE_TYPES
 from repro.common.params import ParamRegistry
+from repro.common.simulation import kernel_stats_snapshot
 from repro.core.confagent import UNIT_TEST
 from repro.core.checkpoint import CampaignCheckpoint
+from repro.core.costmodel import CostModel
 from repro.core.execcache import ExecutionCache
 from repro.core.observe import MetricsRegistry, Observation, ProgressReporter
 from repro.core.pooling import FrequentFailureTracker, PooledTester, PoolStats
@@ -106,6 +108,12 @@ class CampaignConfig:
     #: or "process" (fork-based, true parallelism over the pure-Python
     #: simulation).  Ignored at workers == 1.
     parallel_backend: str = "thread"
+    #: dispatch order for ``workers > 1``: "lpt" hands profiles to the
+    #: pool longest-predicted-first (see repro.core.costmodel), "catalog"
+    #: keeps corpus order.  Results are folded in catalog order either
+    #: way, so findings and deterministic metrics are identical; only
+    #: wall-clock makespan changes.  Ignored at workers == 1.
+    schedule: str = "lpt"
     #: run the process backend under the supervisor (repro.core.supervise):
     #: crashed/hung workers are killed, reaped and respawned instead of
     #: aborting the campaign.  ``False`` restores the bare executor.
@@ -209,6 +217,9 @@ class Campaign:
         self.tracker = FrequentFailureTracker(self.config.blacklist_threshold)
         #: per-run execution cache (built in _run when config.exec_cache).
         self._cache: Optional[ExecutionCache] = None
+        #: per-run scheduler cost model (rebuilt in _run_inner once the
+        #: pre-run profiles exist).
+        self.cost_model = CostModel(self)
         #: supervised-pool counters for the current run (reset in _run;
         #: filled by repro.core.supervise when the supervisor is used).
         self.supervision = SupervisionStats()
@@ -295,8 +306,18 @@ class Campaign:
         backend = self.config.parallel_backend
         if backend not in ("thread", "process"):
             raise ValueError("unknown parallel backend %r" % backend)
+        schedule = self.config.schedule
+        if schedule not in ("lpt", "catalog"):
+            raise ValueError("unknown schedule %r" % schedule)
+        self.cost_model = CostModel(self)
         self.supervision = SupervisionStats()
         if self.config.workers > 1 and pending:
+            # Dispatch order is a pure makespan concern: outcomes are
+            # keyed by test and folded back in catalog order below, so
+            # reordering here cannot change findings or deterministic
+            # metrics.
+            if schedule == "lpt":
+                pending = self.cost_model.lpt_order(pending)
             # Both backends share the supervisor module's as-completed
             # collection: each finished profile is journaled immediately,
             # so a crash loses at most the in-flight profiles.
@@ -320,12 +341,18 @@ class Campaign:
         degraded: List[str] = []
         quarantined: List[str] = []
         degraded_errors: Dict[str, str] = {}
+        predicted_total = 0
+        prediction_error = 0
         for profile in usable:
             name = profile.test.full_name
             outcome = outcome_by_test[name]
             results.extend(outcome.results)
             _merge_stats(pool_stats, outcome.stats)
             executions += outcome.executions
+            prediction = self.cost_model.predict(profile)
+            predicted_total += prediction.predicted_executions
+            prediction_error += abs(prediction.predicted_executions
+                                    - outcome.executions)
             for kind, count in outcome.fault_counts.items():
                 fault_counts[kind] = fault_counts.get(kind, 0) + count
             retries += outcome.retries
@@ -334,6 +361,16 @@ class Campaign:
                 degraded_errors[name] = outcome.error
                 if outcome.error_kind == WORKER_CRASH:
                     quarantined.append(name)
+        if self.observation is not None:
+            # Predicted-vs-actual bookkeeping is computed here in the
+            # parent, identically for every backend (and for restored
+            # profiles), so the deterministic snapshot stays
+            # backend-invariant.
+            metrics = self.observation.metrics
+            metrics.counter_inc("zc_sched_predicted_executions_total",
+                                predicted_total)
+            metrics.counter_inc("zc_sched_prediction_error_executions_total",
+                                prediction_error)
 
         stage_counts.after_pooling = pool_stats.total_instances_run
         hypothesis_stats = _hypothesis_stats(results)
@@ -592,7 +629,9 @@ class Campaign:
                               executions=outcome.executions,
                               machine_time_s=(outcome.executions
                                               * self.config.run_cost_s),
-                              instances=len(outcome.results))
+                              instances=len(outcome.results),
+                              predicted_executions=self.cost_model.predict(
+                                  profile).predicted_executions)
                    for profile in usable
                    for outcome in (outcome_by_test[profile.test.full_name],)]
         centers.sort(key=lambda center: (-center.executions, center.test))
@@ -678,6 +717,7 @@ class Campaign:
         tester = PooledTester(runner, tracker=self.tracker,
                               max_pool_size=self.config.max_pool_size,
                               on_result=on_result)
+        kernel_before = kernel_stats_snapshot()
         results: List[InstanceResult] = []
         error = ""
         error_kind = ""
@@ -716,6 +756,15 @@ class Campaign:
         stats.exec_cache_bypasses += runner.cache_bypasses
         if obs is not None:
             self._fill_profile_metrics(obs.metrics, runner, stats)
+            kernel_after = kernel_stats_snapshot()
+            for delta, metric in zip(
+                    (after - before for after, before
+                     in zip(kernel_after, kernel_before)),
+                    ("zc_runtime_sim_timers_cancelled_total",
+                     "zc_runtime_sim_heap_compactions_total",
+                     "zc_runtime_sim_timers_compacted_total")):
+                if delta:
+                    obs.metrics.counter_inc(metric, delta)
         return ProfileOutcome(results=results, stats=stats,
                               executions=runner.executions,
                               fault_counts=dict(runner.fault_counts),

@@ -18,6 +18,7 @@ The pre-run executes every unit test exactly once under a recording
 from __future__ import annotations
 
 import random
+import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
@@ -48,6 +49,10 @@ class TestProfile:
     #: baseline failure message, if the test failed its pre-run.
     baseline_error: Optional[str] = None
     starts_nodes: bool = False
+    #: wall seconds the single pre-run execution took.  Volatile (host
+    #: dependent) — used only as the per-execution weight in the cost
+    #: model's makespan scheduling, never in findings or reports.
+    prerun_wall_s: float = 0.0
 
     @property
     def usable(self) -> bool:
@@ -63,11 +68,13 @@ def prerun_test(test: UnitTest) -> TestProfile:
     profile = TestProfile(test=test)
     agent = ConfAgent(assignment=None, record_usage=True)
     ctx = TestContext(rng=random.Random(PRERUN_SEED), trial=-1)
+    started = time.perf_counter()
     with agent:
         try:
             test.fn(ctx)
         except Exception as exc:  # noqa: BLE001 - a failing test is data
             profile.baseline_error = "%s: %s" % (type(exc).__name__, exc)
+    profile.prerun_wall_s = time.perf_counter() - started
     profile.groups = agent.started_node_groups()
     profile.starts_nodes = bool(profile.groups)
     for owner, params in agent.usage.items():

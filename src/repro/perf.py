@@ -1,0 +1,34 @@
+"""Global switch for the hot-path performance optimisations.
+
+The perf pass (kernel heap compaction, O(1) live-timer counting, wire
+encode memoisation, assignment lookup tables, RNG tracking trampoline)
+must be *behaviour-preserving*: findings, verdicts, and deterministic
+observability snapshots have to come out byte-identical with the
+optimisations on or off.  Keeping every optimisation behind one module
+global makes that claim testable — the equivalence tests and the
+``bench_campaign_wallclock`` benchmark run the same campaign twice, once
+per mode, and diff the results.
+
+The flag is read at call sites as a plain module-global load (cheap) and
+is **not** a public tuning knob: production runs always leave it on.  It
+exists for A/B verification and for measuring the "unoptimised path"
+required by the perf-smoke CI gate.
+"""
+
+from __future__ import annotations
+
+#: Master switch.  True in normal operation; benches/tests flip it to
+#: measure or verify the legacy (pre-optimisation) code paths.
+FAST_PATH = True
+
+
+def fast_path_enabled() -> bool:
+    return FAST_PATH
+
+
+def set_fast_path(enabled: bool) -> bool:
+    """Enable/disable the fast paths; returns the previous setting."""
+    global FAST_PATH
+    previous = FAST_PATH
+    FAST_PATH = bool(enabled)
+    return previous

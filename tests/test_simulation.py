@@ -6,8 +6,10 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.common.simulation import (Event, PeriodicTask, Process,
-                                     SimulationError, Simulator)
+import repro.perf as perf
+from repro.common.simulation import (COMPACT_MIN_CANCELLED, Event,
+                                     PeriodicTask, Process, SimulationError,
+                                     Simulator, kernel_stats_snapshot)
 
 
 class TestScheduling:
@@ -300,3 +302,137 @@ class TestPeriodicTask:
                                       callback=tick)
         sim.run_until(10.0)
         assert ticks == [1.0, 2.0]
+
+
+# ---------------------------------------------------------------------------
+# fast-path kernel: heap compaction, O(1) accounting, teardown safety
+# ---------------------------------------------------------------------------
+class TestHeapCompaction:
+    def test_cancel_storm_compacts_the_heap(self):
+        sim = Simulator()
+        victims = [sim.schedule(100.0, int)
+                   for _ in range(COMPACT_MIN_CANCELLED * 2)]
+        for _ in range(3):
+            sim.schedule(50.0, int)
+        _, compactions_before, _ = kernel_stats_snapshot()
+        for timer in victims:
+            timer.cancel()
+        _, compactions_after, _ = kernel_stats_snapshot()
+        assert compactions_after > compactions_before
+        # the sweep physically removed dead entries
+        assert len(sim._heap) < len(victims)
+        assert sim.pending_events() == 3
+
+    def test_small_heaps_never_compact(self):
+        sim = Simulator()
+        timers = [sim.schedule(10.0, int) for _ in range(10)]
+        _, compactions_before, _ = kernel_stats_snapshot()
+        for timer in timers:
+            timer.cancel()
+        _, compactions_after, _ = kernel_stats_snapshot()
+        assert compactions_after == compactions_before
+        assert len(sim._heap) == 10  # lazy deletion still applies
+        assert sim.pending_events() == 0
+
+    def test_compaction_mid_run_preserves_event_order(self):
+        """A callback's cancel storm compacts the heap while run() /
+        run_until() hold a local reference to it; remaining events must
+        still fire, in order."""
+        sim = Simulator()
+        order = []
+        for i in range(5):
+            sim.schedule(2.0 + i, order.append, i)
+        victims = [sim.schedule(100.0, int) for _ in range(200)]
+
+        def slaughter():
+            for timer in victims:
+                timer.cancel()
+
+        sim.schedule(1.0, slaughter)
+        _, compactions_before, _ = kernel_stats_snapshot()
+        sim.run_until(1.5)  # compaction races the bounded run
+        _, compactions_after, _ = kernel_stats_snapshot()
+        assert compactions_after > compactions_before
+        assert sim.pending_events() == 5
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+        assert sim.pending_events() == 0
+
+    def test_event_order_identical_fast_and_legacy(self):
+        def workload():
+            sim = Simulator()
+            log = []
+            timers = {}
+            for i in range(300):
+                timers[i] = sim.schedule(float(i % 11), log.append, i)
+
+            def kill():
+                for i in range(0, 300, 2):
+                    timers[i].cancel()
+
+            sim.schedule(0.5, kill)
+            sim.run()
+            return log
+
+        previous = perf.set_fast_path(True)
+        try:
+            fast = workload()
+            perf.set_fast_path(False)
+            legacy = workload()
+        finally:
+            perf.set_fast_path(previous)
+        assert fast == legacy
+
+
+class TestCancelAccounting:
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        timer = sim.schedule(5.0, int)
+        sim.schedule(6.0, int)
+        cancelled_before, _, _ = kernel_stats_snapshot()
+        timer.cancel()
+        timer.cancel()
+        cancelled_after, _, _ = kernel_stats_snapshot()
+        assert cancelled_after - cancelled_before == 1
+        assert sim.pending_events() == 1
+
+    def test_cancel_after_fire_is_inert(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.schedule(1.0, fired.append, 1)
+        sim.schedule(2.0, fired.append, 2)
+        sim.run_until(1.5)
+        assert fired == [1]
+        timer.cancel()  # handle kept across the firing
+        timer.cancel()
+        assert sim.pending_events() == 1  # live count not corrupted
+        sim.run()
+        assert fired == [1, 2]
+        assert sim.pending_events() == 0
+
+    def test_cancel_after_simulator_teardown(self):
+        sim = Simulator()
+        fired_handle = sim.schedule(1.0, int)
+        pending_handle = sim.schedule(50.0, int)
+        sim.run_until(2.0)
+        del sim
+        fired_handle.cancel()    # popped: detached, pure flag write
+        pending_handle.cancel()  # un-popped: safe accounting, no error
+        assert fired_handle.cancelled
+        assert pending_handle.cancelled
+
+    def test_pending_events_matches_legacy_scan(self):
+        sim = Simulator()
+        timers = [sim.schedule(float(i), int) for i in range(40)]
+        for timer in timers[::4]:
+            timer.cancel()
+        scan = sum(1 for _, _, t in sim._heap if not t.cancelled)
+        assert sim.pending_events() == scan
+        previous = perf.set_fast_path(False)
+        try:
+            assert sim.pending_events() == scan
+        finally:
+            perf.set_fast_path(previous)
+        sim.run_until(10.5)
+        scan = sum(1 for _, _, t in sim._heap if not t.cancelled)
+        assert sim.pending_events() == scan

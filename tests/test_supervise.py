@@ -151,8 +151,12 @@ class TestIncrementalJournaling:
         path = str(tmp_path / "ck.jsonl")
         tests = lambda: [two_service_test(), safe_only_test(),  # noqa: E731
                          hard_crash_test()]
+        # catalog schedule: the crasher must be *dispatched* last so some
+        # work finishes (and journals) before the bare pool breaks; LPT
+        # dispatch order depends on measured pre-run weights.
         with pytest.raises(Exception):
-            campaign(tests(), supervise=False, checkpoint_path=path).run()
+            campaign(tests(), supervise=False, checkpoint_path=path,
+                     schedule="catalog").run()
         salvage = CampaignCheckpoint(path)
         assert salvage.load() >= 1  # incremental: finished work survived
 
