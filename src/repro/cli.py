@@ -62,6 +62,49 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(all six applications)")
     _add_campaign_flags(evaluate)
 
+    worker = sub.add_parser("worker",
+                            help="join a distributed campaign as a remote "
+                                 "worker (the coordinator side is a normal "
+                                 "campaign/evaluate run with --distributed)")
+    worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="coordinator address to join")
+    worker.add_argument("--name", default="",
+                        help="worker name shown in the coordinator's fleet "
+                             "table (default: host#pid)")
+    worker.add_argument("--workers", type=int, default=1,
+                        help="local execution slots; >1 runs leased "
+                             "profiles through the supervised process pool")
+    worker.add_argument("--parallel-backend", choices=("thread", "process"),
+                        default="process",
+                        help="local backend for --workers > 1 "
+                             "(default process)")
+    worker.add_argument("--supervise", default=True,
+                        action=argparse.BooleanOptionalAction,
+                        help="contain crashes of local pool workers "
+                             "(default on)")
+    worker.add_argument("--worker-redelivery", type=int, default=2,
+                        metavar="N",
+                        help="local in-pool redeliveries before a profile "
+                             "is reported as quarantined (default 2)")
+    worker.add_argument("--crash-loop-threshold", type=int, default=5,
+                        metavar="K",
+                        help="consecutive local worker deaths that trip the "
+                             "local circuit breaker (default 5)")
+    worker.add_argument("--profile-deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock budget per profile in the local "
+                             "pool (default: none)")
+    worker.add_argument("--worker-rlimit-cpu", type=int, default=None,
+                        metavar="SECONDS", help="RLIMIT_CPU per pool worker")
+    worker.add_argument("--worker-rlimit-mem", type=int, default=None,
+                        metavar="MB", help="RLIMIT_AS (MB) per pool worker")
+    worker.add_argument("--reconnect-attempts", type=int, default=8,
+                        metavar="N",
+                        help="consecutive failed (re)connects before the "
+                             "worker gives up (default 8; backoff is "
+                             "exponential with jitter)")
+    _add_net_fault_flags(worker)
+
     validate = sub.add_parser("validate-obs",
                               help="schema-check observability artifacts "
                                    "(--trace-spans / --trace-chrome / "
@@ -196,6 +239,44 @@ def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
                                  "profile in between) that trip the "
                                  "supervisor's circuit breaker and halt the "
                                  "campaign with a partial report (default 5)")
+    distributed = parser.add_argument_group(
+        "distributed execution", "coordinator-side remote worker fleet "
+                                 "(docs/DISTRIBUTED.md)")
+    distributed.add_argument("--distributed", metavar="[HOST:]PORT",
+                             default=None,
+                             help="serve this campaign's profiles to remote "
+                                  "`repro worker --connect` processes over "
+                                  "TCP; falls back to the local pool if the "
+                                  "fleet never joins or is lost")
+    distributed.add_argument("--dist-heartbeat", type=float, default=1.0,
+                             metavar="SECONDS",
+                             help="worker heartbeat cadence (default 1.0)")
+    distributed.add_argument("--dist-heartbeat-timeout", type=float,
+                             default=10.0, metavar="SECONDS",
+                             help="silence after which a worker is declared "
+                                  "dead and its leases redelivered "
+                                  "(default 10)")
+    distributed.add_argument("--dist-lease-deadline", type=float,
+                             default=None, metavar="SECONDS",
+                             help="wall-clock budget per granted lease; on "
+                                  "expiry the profile is redelivered "
+                                  "(default: none)")
+    distributed.add_argument("--dist-max-copies", type=int, default=2,
+                             metavar="N",
+                             help="max concurrent holders per profile when "
+                                  "idle workers steal straggler leases "
+                                  "(default 2; first finisher wins)")
+    distributed.add_argument("--dist-join-grace", type=float, default=20.0,
+                             metavar="SECONDS",
+                             help="how long to wait for the first worker "
+                                  "before degrading to the local pool "
+                                  "(default 20)")
+    distributed.add_argument("--dist-fleet-grace", type=float, default=10.0,
+                             metavar="SECONDS",
+                             help="how long to run with zero live workers "
+                                  "(after some joined) before degrading to "
+                                  "the local pool (default 10)")
+    _add_net_fault_flags(parser, group=distributed)
     observability = parser.add_argument_group(
         "observability", "span tracing, metrics, live progress "
                          "(docs/OBSERVABILITY.md)")
@@ -215,6 +296,38 @@ def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
                                help="live one-line progress on stderr "
                                     "(profiles done, executions, cache "
                                     "hit-rate, voids, respawns)")
+
+
+def _add_net_fault_flags(parser: argparse.ArgumentParser,
+                         group: Optional[argparse._ArgumentGroup] = None
+                         ) -> None:
+    """Transport-level chaos knobs, shared by coordinator and worker."""
+    target = group if group is not None else parser.add_argument_group(
+        "network chaos", "deterministic transport-level fault injection")
+    target.add_argument("--fault-net-drop", type=float, default=0.0,
+                        metavar="PROB",
+                        help="probability an outbound frame is silently "
+                             "dropped (deterministic per frame)")
+    target.add_argument("--fault-net-delay", type=float, default=0.0,
+                        metavar="PROB",
+                        help="probability an outbound frame is delayed")
+    target.add_argument("--fault-net-partition", type=int, default=0,
+                        metavar="N",
+                        help="hard-close each connection after N outbound "
+                             "frames (0 = never), simulating a partition")
+    target.add_argument("--fault-net-seed", type=int, default=0,
+                        metavar="SEED",
+                        help="seed for the net fault schedule (same seed = "
+                             "identical chaos, default 0)")
+
+
+def _net_fault_plan(args: argparse.Namespace) -> "Optional[NetFaultPlan]":
+    from repro.common.transport import NetFaultPlan
+    plan = NetFaultPlan(seed=args.fault_net_seed,
+                        drop_prob=args.fault_net_drop,
+                        delay_prob=args.fault_net_delay,
+                        partition_after=args.fault_net_partition)
+    return plan if plan.active else None
 
 
 def _fault_plan(args: argparse.Namespace) -> "Optional[FaultPlan]":
@@ -260,6 +373,14 @@ def _config(args: argparse.Namespace) -> CampaignConfig:
                             worker_rlimit_mem_mb=args.worker_rlimit_mem,
                             worker_redelivery=args.worker_redelivery,
                             crash_loop_threshold=args.crash_loop_threshold,
+                            distributed=args.distributed,
+                            dist_heartbeat_s=args.dist_heartbeat,
+                            dist_heartbeat_timeout_s=args.dist_heartbeat_timeout,
+                            dist_lease_deadline_s=args.dist_lease_deadline,
+                            dist_max_copies=args.dist_max_copies,
+                            dist_join_grace_s=args.dist_join_grace,
+                            dist_fleet_grace_s=args.dist_fleet_grace,
+                            net_fault_plan=_net_fault_plan(args),
                             observe=bool(args.trace_spans or args.trace_chrome
                                          or args.metrics_out),
                             progress_stream=(sys.stderr if args.progress
@@ -435,6 +556,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             print("table 3   : not listed (no known heterogeneous hazard)")
         return 0
+
+    if args.command == "worker":
+        from repro.core.distrib import run_worker
+        worker_config = CampaignConfig(
+            workers=args.workers,
+            parallel_backend=args.parallel_backend,
+            supervise=args.supervise,
+            worker_redelivery=args.worker_redelivery,
+            crash_loop_threshold=args.crash_loop_threshold,
+            profile_deadline_s=args.profile_deadline,
+            worker_rlimit_cpu_s=args.worker_rlimit_cpu,
+            worker_rlimit_mem_mb=args.worker_rlimit_mem)
+        return run_worker(args.connect, worker_config=worker_config,
+                          name=args.name,
+                          net_fault_plan=_net_fault_plan(args),
+                          max_reconnects=args.reconnect_attempts,
+                          log=sys.stderr)
 
     if args.command == "campaign":
         spec = catalog.spec_for(args.app)

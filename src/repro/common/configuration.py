@@ -31,6 +31,11 @@ class Configuration:
 
     def __init__(self, source: Optional["Configuration"] = None) -> None:
         self._properties: Dict[str, Any] = {}
+        #: Monotonic per-object write counter.  Cheap cache-invalidation
+        #: signal for consumers (e.g. the IPC cross-check memo) that need
+        #: "has this conf changed since I last looked?" without hashing
+        #: the property map.
+        self._mutations = 0
         if source is None:
             current_agent().new_conf(self)
         else:
@@ -63,13 +68,16 @@ class Configuration:
     def set(self, name: str, value: Any) -> None:
         current_agent().intercept_set(self, name, value)
         self._properties[name] = value
+        self._mutations += 1
 
     def raw_set(self, name: str, value: Any) -> None:
         """Store without notifying the agent (used by write-through)."""
         self._properties[name] = value
+        self._mutations += 1
 
     def unset(self, name: str) -> None:
         self._properties.pop(name, None)
+        self._mutations += 1
 
     def is_explicitly_set(self, name: str) -> bool:
         return name in self._properties

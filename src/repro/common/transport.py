@@ -1,0 +1,280 @@
+"""Length-prefixed JSON framing over TCP, with deterministic chaos hooks.
+
+The distributed campaign protocol (:mod:`repro.core.distrib`) moves
+small JSON messages — leases, heartbeats, serialized ProfileOutcomes —
+between a coordinator and its remote workers.  This module owns the
+byte-level concerns so the protocol layer never touches a socket
+directly:
+
+* **Framing.**  Every message is ``4-byte big-endian length + UTF-8
+  JSON``.  Short reads, EOF mid-frame, and oversized frames surface as
+  :class:`TransportError` instead of garbled JSON.
+* **Chaos.**  A frozen :class:`NetFaultPlan` injects faults on the
+  *real* socket layer, deterministically: every decision is drawn from
+  :func:`repro.common.faults.fault_seed` over ``(plan seed, connection
+  id, frame index)``, so the same plan against the same traffic produces
+  the same drops/delays/partitions on every run.  Three fault kinds:
+
+  - ``drop``       — an outbound frame is silently discarded; the peer's
+    reply never comes and the caller's read deadline fires;
+  - ``delay``      — an outbound frame is held back for a bounded time
+    before hitting the wire;
+  - ``partition``  — after N outbound frames the link is severed (the
+    socket is closed mid-conversation); every later use of the
+    transport fails like a genuine network partition.
+
+The chaos sits *inside* :meth:`FrameTransport.send`, not in the protocol
+layer: redelivery, reconnection, and duplicate suppression are then
+exercised against real connection failures, which is the point.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.common.errors import ReproError
+from repro.common.faults import fault_seed
+
+#: Frame length prefix: 4-byte unsigned big-endian.
+_HEADER = struct.Struct(">I")
+
+#: Upper bound on one frame; a corrupt/hostile length prefix must not
+#: make the receiver allocate gigabytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class TransportError(ReproError):
+    """The connection is unusable (EOF, reset, injected partition)."""
+
+
+class TransportTimeout(TransportError):
+    """No frame arrived within the read deadline (connection may still
+    be alive — the caller decides whether that means *dead peer*)."""
+
+
+@dataclass(frozen=True)
+class NetFaultPlan:
+    """Declarative transport chaos: probabilities + a seed.
+
+    Frozen and inert by default, like :class:`repro.common.faults.FaultPlan`
+    (its design template).  Decisions are per *outbound frame* and
+    deterministic in ``(seed, connection id, frame index)``; two runs
+    that send the same frames over connections with the same ids observe
+    identical chaos.
+    """
+
+    seed: int = 0
+    #: probability that an outbound frame is silently discarded.
+    drop_prob: float = 0.0
+    #: probability that an outbound frame is held back before sending.
+    delay_prob: float = 0.0
+    delay_range_s: Tuple[float, float] = (0.01, 0.25)
+    #: sever the link after this many outbound frames (0 = never).  The
+    #: count is per transport, so a reconnected link is severed again
+    #: after another N frames — a deterministic flapping partition.
+    partition_after: int = 0
+
+    @property
+    def active(self) -> bool:
+        return bool(self.drop_prob or self.delay_prob
+                    or self.partition_after)
+
+    # -- per-frame decisions (pure; unit-testable without sockets) ------
+    def drop_decision(self, conn_id: str, frame_index: int) -> bool:
+        if not self.drop_prob:
+            return False
+        import random
+        rng = random.Random(fault_seed(self.seed, "net-drop", conn_id,
+                                       frame_index))
+        return rng.random() < self.drop_prob
+
+    def delay_decision(self, conn_id: str, frame_index: int) -> float:
+        if not self.delay_prob:
+            return 0.0
+        import random
+        rng = random.Random(fault_seed(self.seed, "net-delay", conn_id,
+                                       frame_index))
+        if rng.random() >= self.delay_prob:
+            return 0.0
+        low, high = self.delay_range_s
+        return rng.uniform(low, high)
+
+    def partition_decision(self, frame_index: int) -> bool:
+        return bool(self.partition_after
+                    and frame_index >= self.partition_after)
+
+
+def net_fault_plan_from_dict(record: Optional[Dict[str, Any]]
+                             ) -> Optional[NetFaultPlan]:
+    """Rebuild a plan from its ``asdict`` form (JSON turns the tuple
+    field into a list)."""
+    if not record:
+        return None
+    data = dict(record)
+    if "delay_range_s" in data:
+        data["delay_range_s"] = tuple(data["delay_range_s"])
+    return NetFaultPlan(**data)
+
+
+class FrameTransport:
+    """One framed JSON connection, with optional injected chaos.
+
+    ``send`` is thread-safe (the worker's heartbeat thread shares the
+    transport with its request loop); ``recv`` must stay single-reader.
+    ``on_fault(kind)`` is invoked for every injected fault so the
+    protocol layer can count them into its stats.
+    """
+
+    def __init__(self, sock: socket.socket, conn_id: str = "",
+                 plan: Optional[NetFaultPlan] = None,
+                 on_fault: Optional[Callable[[str], None]] = None) -> None:
+        self.sock = sock
+        self.conn_id = conn_id
+        self.plan = plan if plan is not None and plan.active else None
+        self.on_fault = on_fault
+        self.frames_sent = 0
+        self.frames_received = 0
+        #: injected fault kind -> count (observability, not behaviour).
+        self.fault_counts: Dict[str, int] = {}
+        self._send_lock = threading.Lock()
+        self._closed = False
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - non-TCP socket (tests)
+            pass
+
+    # ------------------------------------------------------------------
+    def _count_fault(self, kind: str) -> None:
+        self.fault_counts[kind] = self.fault_counts.get(kind, 0) + 1
+        if self.on_fault is not None:
+            self.on_fault(kind)
+
+    def send(self, message: Dict[str, Any]) -> None:
+        payload = json.dumps(message, sort_keys=True).encode("utf-8")
+        if len(payload) > MAX_FRAME_BYTES:
+            raise TransportError("frame of %d bytes exceeds the %d-byte "
+                                 "limit" % (len(payload), MAX_FRAME_BYTES))
+        with self._send_lock:
+            if self._closed:
+                raise TransportError("transport is closed")
+            index = self.frames_sent
+            self.frames_sent += 1
+            plan = self.plan
+            if plan is not None:
+                if plan.partition_decision(index):
+                    self._count_fault("partition")
+                    self._close_locked()
+                    raise TransportError(
+                        "injected partition: link severed after %d frames"
+                        % index)
+                if plan.drop_decision(self.conn_id, index):
+                    self._count_fault("drop")
+                    return  # the frame vanishes; the peer sees nothing
+                delay = plan.delay_decision(self.conn_id, index)
+                if delay > 0.0:
+                    self._count_fault("delay")
+                    time.sleep(delay)
+            try:
+                self.sock.sendall(_HEADER.pack(len(payload)) + payload)
+            except OSError as exc:
+                raise TransportError("send failed: %s" % exc)
+
+    def recv(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        try:
+            self.sock.settimeout(timeout)
+        except OSError as exc:
+            raise TransportError("socket unusable: %s" % exc)
+        header = self._recv_exact(_HEADER.size)
+        (length,) = _HEADER.unpack(header)
+        if length > MAX_FRAME_BYTES:
+            raise TransportError("peer announced a %d-byte frame (limit %d)"
+                                 % (length, MAX_FRAME_BYTES))
+        payload = self._recv_exact(length)
+        self.frames_received += 1
+        try:
+            message = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise TransportError("undecodable frame: %s" % exc)
+        if not isinstance(message, dict):
+            raise TransportError("frame is not a JSON object: %r"
+                                 % type(message).__name__)
+        return message
+
+    def _recv_exact(self, count: int) -> bytes:
+        chunks = []
+        remaining = count
+        while remaining:
+            try:
+                chunk = self.sock.recv(remaining)
+            except socket.timeout:
+                raise TransportTimeout("no frame within the read deadline")
+            except OSError as exc:
+                raise TransportError("recv failed: %s" % exc)
+            if not chunk:
+                raise TransportError("connection closed by peer")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    # ------------------------------------------------------------------
+    def _close_locked(self) -> None:
+        self._closed = True
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def close(self) -> None:
+        with self._send_lock:
+            if not self._closed:
+                self._close_locked()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+# ---------------------------------------------------------------------------
+# connection helpers
+# ---------------------------------------------------------------------------
+def parse_address(address: str, default_host: str = "127.0.0.1"
+                  ) -> Tuple[str, int]:
+    """``"HOST:PORT"``, ``":PORT"`` or bare ``"PORT"`` -> (host, port)."""
+    text = address.strip()
+    if ":" in text:
+        host, _, port_text = text.rpartition(":")
+        host = host or default_host
+    else:
+        host, port_text = default_host, text
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise TransportError("invalid address %r (want [HOST:]PORT)"
+                             % address)
+    if not 0 <= port <= 65535:
+        raise TransportError("port %d out of range in %r" % (port, address))
+    return host, port
+
+
+def connect(host: str, port: int, timeout: float = 5.0,
+            conn_id: str = "", plan: Optional[NetFaultPlan] = None,
+            on_fault: Optional[Callable[[str], None]] = None
+            ) -> FrameTransport:
+    """Dial and wrap; connection failures surface as TransportError."""
+    try:
+        sock = socket.create_connection((host, port), timeout=timeout)
+    except OSError as exc:
+        raise TransportError("connect to %s:%d failed: %s"
+                             % (host, port, exc))
+    sock.settimeout(None)
+    return FrameTransport(sock, conn_id=conn_id, plan=plan, on_fault=on_fault)

@@ -116,6 +116,28 @@ def result_from_dict(record: Mapping[str, Any],
 # ---------------------------------------------------------------------------
 # the journal
 # ---------------------------------------------------------------------------
+def fsync_directory(path: str) -> None:
+    """fsync the directory containing ``path``.
+
+    ``os.fsync`` on a file handle makes the *contents* durable, but the
+    directory entry naming a freshly created file lives in the directory
+    inode — until that is synced, a crash can leave a journal whose data
+    reached disk under a name that never did.  Called once per journal
+    file creation/rotation, not per append.
+    """
+    parent = os.path.dirname(os.path.abspath(path))
+    try:
+        fd = os.open(parent, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic fs without dir opens
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs refuses directory fsync
+        pass
+    finally:
+        os.close(fd)
+
+
 class CampaignCheckpoint:
     """Append-only JSONL journal shared by one or more app campaigns.
 
@@ -235,8 +257,13 @@ class CampaignCheckpoint:
     def _append(self, record: Dict[str, Any]) -> None:
         line = json.dumps(record, sort_keys=True)
         with self._lock:
+            creating = not os.path.exists(self.path)
             with open(self.path, "a") as handle:
                 handle.write(line)
                 handle.write("\n")
                 handle.flush()
                 os.fsync(handle.fileno())
+            if creating:
+                # The first append creates the file; without a directory
+                # fsync the new name itself is not yet durable.
+                fsync_directory(self.path)

@@ -161,6 +161,10 @@ class ConfAgent:
         self.set_params: Set[str] = set()
         #: count of get() calls answered with an injected value.
         self.injected_reads = 0
+        #: Bumped on every conf-ownership mutation; external memos (e.g.
+        #: the IPC cross-check) fold it into their keys so any remapping
+        #: conservatively invalidates them.
+        self.ownership_epoch = 0
 
         # Strong references so Python ids stay unique for the session.
         self._pinned: List[Any] = []
@@ -333,6 +337,7 @@ class ConfAgent:
 
     def _forget_conf(self, conf_id: int) -> None:
         """Drop every per-conf memo; called on any ownership mutation."""
+        self.ownership_epoch += 1
         self._resolve_cache.pop(conf_id, None)
         self._get_memo.pop(conf_id, None)
 

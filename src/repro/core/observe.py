@@ -212,6 +212,42 @@ METRIC_CATALOG: Dict[str, MetricSpec] = {
     "zc_runtime_sim_timers_compacted_total": MetricSpec(
         "counter", "Cancelled heap entries removed by compaction sweeps.",
         volatile=True),
+    "zc_dist_workers_joined_total": MetricSpec(
+        "counter", "Remote worker connections that completed the "
+        "hello/welcome handshake.", volatile=True),
+    "zc_dist_workers_lost_total": MetricSpec(
+        "counter", "Remote worker connections declared lost (EOF, "
+        "reset, heartbeat silence).", volatile=True),
+    "zc_dist_leases_granted_total": MetricSpec(
+        "counter", "Profile leases granted to remote workers (includes "
+        "stolen copies).", volatile=True),
+    "zc_dist_redeliveries_total": MetricSpec(
+        "counter", "Leases re-queued after their holder was lost or the "
+        "lease deadline expired.", volatile=True),
+    "zc_dist_lease_steals_total": MetricSpec(
+        "counter", "Work-stealing copies granted of still-outstanding "
+        "leases.", volatile=True),
+    "zc_dist_duplicate_outcomes_total": MetricSpec(
+        "counter", "Remote results acked but dropped because the profile "
+        "was already committed.", volatile=True),
+    "zc_dist_heartbeat_expiries_total": MetricSpec(
+        "counter", "Remote workers declared lost for heartbeat silence.",
+        volatile=True),
+    "zc_dist_lease_expiries_total": MetricSpec(
+        "counter", "Leases re-queued for exceeding the lease deadline.",
+        volatile=True),
+    "zc_dist_quarantined_total": MetricSpec(
+        "counter", "Profiles quarantined by the coordinator after "
+        "exhausting lease redelivery.", volatile=True),
+    "zc_dist_remote_profiles_total": MetricSpec(
+        "counter", "Profiles committed from remote worker outcomes.",
+        volatile=True),
+    "zc_dist_local_fallback_profiles_total": MetricSpec(
+        "counter", "Profiles finished by the local pool after the "
+        "coordinator degraded.", volatile=True),
+    "zc_dist_net_faults_total": MetricSpec(
+        "counter", "Injected transport faults on coordinator-side "
+        "connections, by kind.", volatile=True),
 }
 
 

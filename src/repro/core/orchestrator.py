@@ -26,8 +26,8 @@ from repro.core.pooling import FrequentFailureTracker, PooledTester, PoolStats
 from repro.core.prerun import PreRunSummary, TestProfile, prerun_corpus
 from repro.core.registry import CORPUS, Corpus, UnitTest
 from repro.core.report import (AppReport, CampaignReport, CostCenter,
-                               HypothesisTestingStats, StageCounts,
-                               SupervisionStats)
+                               DistributionStats, HypothesisTestingStats,
+                               StageCounts, SupervisionStats)
 from repro.core.runner import (CONFIRMED_UNSAFE, DEFAULT_WATCHDOG_SIM_S,
                                FLAKY_DISMISSED, WORKER_CRASH, InstanceResult,
                                TestRunner)
@@ -56,6 +56,21 @@ _POOL_METRICS = {
     "exec_cache_hits": "zc_exec_cache_hits_total",
     "exec_cache_misses": "zc_exec_cache_misses_total",
     "exec_cache_bypasses": "zc_exec_cache_bypasses_total",
+}
+
+#: DistributionStats field -> volatile (run-scoped) metric name.
+_DIST_METRICS = {
+    "workers_joined": "zc_dist_workers_joined_total",
+    "workers_lost": "zc_dist_workers_lost_total",
+    "leases_granted": "zc_dist_leases_granted_total",
+    "redeliveries": "zc_dist_redeliveries_total",
+    "steals": "zc_dist_lease_steals_total",
+    "duplicates_suppressed": "zc_dist_duplicate_outcomes_total",
+    "heartbeat_expiries": "zc_dist_heartbeat_expiries_total",
+    "lease_expiries": "zc_dist_lease_expiries_total",
+    "quarantined": "zc_dist_quarantined_total",
+    "remote_profiles": "zc_dist_remote_profiles_total",
+    "local_profiles": "zc_dist_local_fallback_profiles_total",
 }
 
 #: SupervisionStats field -> volatile (run-scoped) metric name.
@@ -140,6 +155,28 @@ class CampaignConfig:
     #: a side thread, so plain CPU-bound work keeps beating; only a
     #: genuinely stopped process (SIGSTOP, stuck syscall) goes silent.
     heartbeat_timeout_s: float = 30.0
+    #: serve pending profiles to remote workers from this listen address
+    #: ("[HOST:]PORT"; see repro.core.distrib).  None = single-host run.
+    distributed: Optional[str] = None
+    #: cadence workers are told to heartbeat at.
+    dist_heartbeat_s: float = 1.0
+    #: seconds of heartbeat silence before a remote worker is declared
+    #: lost and its leases redelivered.
+    dist_heartbeat_timeout_s: float = 10.0
+    #: wall-clock bound on one lease before it is re-queued even though
+    #: its holder still heartbeats (None = no deadline; late results are
+    #: still accepted idempotently).
+    dist_lease_deadline_s: Optional[float] = None
+    #: work stealing: maximum concurrent holders of one lease.
+    dist_max_copies: int = 2
+    #: seconds to wait for the first worker before degrading to the
+    #: local pool.
+    dist_join_grace_s: float = 20.0
+    #: seconds to wait for a lost fleet to rejoin before degrading.
+    dist_fleet_grace_s: float = 10.0
+    #: deterministic transport chaos on coordinator-side connections
+    #: (repro.common.transport.NetFaultPlan; None = clean links).
+    net_fault_plan: Optional[Any] = None
     #: collect spans + metrics (repro.core.observe).  The campaign's
     #: Observation lands on AppReport.observation; the CLI's
     #: --trace-spans/--trace-chrome/--metrics-out flags export it.
@@ -223,6 +260,12 @@ class Campaign:
         #: supervised-pool counters for the current run (reset in _run;
         #: filled by repro.core.supervise when the supervisor is used).
         self.supervision = SupervisionStats()
+        #: distributed-coordinator counters for the current run (filled
+        #: by repro.core.distrib when --distributed is on).
+        self.distribution = DistributionStats()
+        #: EWMA-smoothed measured costs persisted beside the checkpoint
+        #: journal (set by _open_checkpoint; None without a checkpoint).
+        self.cost_book = None
         #: campaign-level Observation for the current run (None when the
         #: observability layer is off).
         self.observation: Optional[Observation] = None
@@ -311,7 +354,16 @@ class Campaign:
             raise ValueError("unknown schedule %r" % schedule)
         self.cost_model = CostModel(self)
         self.supervision = SupervisionStats()
-        if self.config.workers > 1 and pending:
+        self.distribution = DistributionStats()
+        if self.config.distributed is not None and pending:
+            # Remote fleet first; whatever it cannot finish degrades to
+            # the local pool inside run_profiles_distributed.  Outcomes
+            # are keyed by test and folded in catalog order below, so
+            # where a profile ran cannot change findings.
+            from repro.core.distrib import run_profiles_distributed
+            fresh = run_profiles_distributed(self, pending, checkpoint,
+                                             tests_by_name)
+        elif self.config.workers > 1 and pending:
             # Dispatch order is a pure makespan concern: outcomes are
             # keyed by test and folded back in catalog order below, so
             # reordering here cannot change findings or deterministic
@@ -400,6 +452,7 @@ class Campaign:
             degraded_errors=degraded_errors,
             exec_cache_enabled=self.config.exec_cache,
             supervision=self.supervision,
+            distribution=self.distribution,
             cost_centers=cost_centers,
             observation=self.observation)
 
@@ -425,7 +478,14 @@ class Campaign:
     # ------------------------------------------------------------------
     def _open_checkpoint(self) -> Optional[CampaignCheckpoint]:
         if not self.config.checkpoint_path:
+            self.cost_book = None
             return None
+        # Measured LPT cost weights live beside the journal so a resumed
+        # campaign reschedules from measured, not analytic, costs.
+        from repro.core.costmodel import CostBook
+        self.cost_book = CostBook(
+            CostBook.beside_checkpoint(self.config.checkpoint_path))
+        self.cost_book.load()
         checkpoint = CampaignCheckpoint(self.config.checkpoint_path)
         finished = checkpoint.load()
         checkpoint.check_header(self.app, self.config.checkpoint_settings())
@@ -458,6 +518,29 @@ class Campaign:
                               fault_counts=fault_counts, retries=retries,
                               error=error, error_kind=error_kind)
 
+    def _record_measured_cost(self, name: str, outcome: ProfileOutcome
+                              ) -> None:
+        """Feed one freshly *run* profile's measured cost into the cost
+        book (scheduling weights only — findings never read it).
+
+        Quarantined WORKER_CRASH outcomes are excluded: the profile did
+        not run to completion, so its numbers would poison the EWMA.
+        Wall time comes from the profile's shipped observation when the
+        observability layer is on; executions are always available.
+        """
+        book = self.cost_book
+        if book is None or outcome.error_kind == WORKER_CRASH:
+            return
+        wall_s = None
+        wire = outcome.observation
+        if wire is not None:
+            root = next((s for s in wire.get("spans", ())
+                         if s.get("parent_id") is None), None)
+            if root is not None:
+                wall_s = max(root["wall_end"] - root["wall_start"], 0.0)
+        book.observe(name, outcome.executions, wall_s=wall_s)
+        book.save()
+
     def _run_profile_contained(self, profile: TestProfile,
                                checkpoint: Optional[CampaignCheckpoint]
                                ) -> ProfileOutcome:
@@ -477,6 +560,7 @@ class Campaign:
                 outcome.executions, fault_counts=outcome.fault_counts,
                 retries=outcome.retries, error=outcome.error,
                 error_kind=outcome.error_kind)
+        self._record_measured_cost(profile.test.full_name, outcome)
         return outcome
 
     # ------------------------------------------------------------------
@@ -616,6 +700,12 @@ class Campaign:
             value = getattr(self.supervision, field_name)
             if value:
                 metrics.counter_inc(metric, value)
+        for field_name, metric in _DIST_METRICS.items():
+            value = getattr(self.distribution, field_name)
+            if value:
+                metrics.counter_inc(metric, value)
+        for kind, count in sorted(self.distribution.net_faults.items()):
+            metrics.counter_inc("zc_dist_net_faults_total", count, kind=kind)
         if self._cache is not None:
             for tier, size in sorted(self._cache.tier_sizes().items()):
                 metrics.gauge_max("zc_runtime_exec_cache_entries", size,

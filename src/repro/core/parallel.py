@@ -153,6 +153,10 @@ def commit_outcome(campaign: Any, checkpoint: Optional[Any], name: str,
             name, outcome.results, outcome.stats, outcome.executions,
             fault_counts=outcome.fault_counts, retries=outcome.retries,
             error=outcome.error, error_kind=outcome.error_kind)
+    # Measured scheduling weights (repro.core.costmodel.CostBook) are a
+    # commit-time concern too: they must be durable beside the journal
+    # before a crash, so a resume reschedules from measured costs.
+    campaign._record_measured_cost(name, outcome)
     # Live observability fold (metrics merge + progress tick); span
     # adoption happens later in deterministic profile order.
     campaign._profile_committed(outcome)

@@ -84,6 +84,63 @@ class SupervisionStats:
 
 
 @dataclass
+class FleetWorker:
+    """One remote worker's contribution, aggregated across reconnects."""
+
+    worker: str
+    #: connections accepted under this worker name (1 = never dropped).
+    connects: int = 0
+    #: profiles whose first (winning) outcome arrived on this worker.
+    profiles: int = 0
+    #: leases this worker held when a connection of its was declared lost.
+    leases_lost: int = 0
+
+
+@dataclass
+class DistributionStats:
+    """What the distributed coordinator did to keep the campaign alive.
+
+    Run-scoped operational counters, volatile like
+    :class:`SupervisionStats`: byte-identity comparisons against serial
+    runs must treat this block (and ``supervision``) as excluded.
+    """
+
+    #: the run used the distributed coordinator (repro.core.distrib).
+    enabled: bool = False
+    #: the address the coordinator actually bound ("host:port").
+    listen: str = ""
+    #: worker connections that completed the hello/welcome handshake.
+    workers_joined: int = 0
+    #: connections declared lost (EOF, reset, heartbeat silence).
+    workers_lost: int = 0
+    leases_granted: int = 0
+    #: leases re-queued after their holder was lost or the lease expired.
+    redeliveries: int = 0
+    #: work-stealing copies granted of still-outstanding leases.
+    steals: int = 0
+    #: results acked but dropped because the profile was already
+    #: committed (resend after a lost ack, or a losing stolen copy).
+    duplicates_suppressed: int = 0
+    #: workers declared lost purely for heartbeat silence.
+    heartbeat_expiries: int = 0
+    #: leases re-queued for exceeding ``dist_lease_deadline_s``.
+    lease_expiries: int = 0
+    #: profiles quarantined as WORKER_CRASH after exhausting redelivery.
+    quarantined: int = 0
+    #: profiles committed from remote outcomes.
+    remote_profiles: int = 0
+    #: profiles finished by the local fallback pool after degradation.
+    local_profiles: int = 0
+    #: the coordinator gave up on the fleet (join/fleet grace expired)
+    #: and handed the rest of the campaign to the local pool.
+    degraded_to_local: bool = False
+    #: injected transport fault kind -> count (coordinator side).
+    net_faults: Dict[str, int] = field(default_factory=dict)
+    #: per-worker rollup, sorted by worker name.
+    fleet: List["FleetWorker"] = field(default_factory=list)
+
+
+@dataclass
 class CostCenter:
     """Where a campaign's machine time went, per unit test.
 
@@ -135,6 +192,8 @@ class AppReport:
     exec_cache_enabled: bool = False
     #: supervised-pool counters (all-zero when supervision was off).
     supervision: SupervisionStats = field(default_factory=SupervisionStats)
+    #: distributed-coordinator counters (all-zero without --distributed).
+    distribution: DistributionStats = field(default_factory=DistributionStats)
     #: most expensive unit tests first (see CostCenter); () before the
     #: campaign computed them.
     cost_centers: Tuple[CostCenter, ...] = ()
@@ -297,6 +356,29 @@ def app_report_to_dict(report: AppReport) -> Dict[str, object]:
             "quarantined": report.supervision.quarantined,
             "circuit_breaker_tripped":
                 report.supervision.circuit_breaker_tripped,
+        },
+        "distribution": {
+            "enabled": report.distribution.enabled,
+            "listen": report.distribution.listen,
+            "workers_joined": report.distribution.workers_joined,
+            "workers_lost": report.distribution.workers_lost,
+            "leases_granted": report.distribution.leases_granted,
+            "redeliveries": report.distribution.redeliveries,
+            "steals": report.distribution.steals,
+            "duplicates_suppressed": report.distribution.duplicates_suppressed,
+            "heartbeat_expiries": report.distribution.heartbeat_expiries,
+            "lease_expiries": report.distribution.lease_expiries,
+            "quarantined": report.distribution.quarantined,
+            "remote_profiles": report.distribution.remote_profiles,
+            "local_profiles": report.distribution.local_profiles,
+            "degraded_to_local": report.distribution.degraded_to_local,
+            "net_faults": dict(sorted(report.distribution.net_faults.items())),
+            "fleet": [
+                {"worker": w.worker, "connects": w.connects,
+                 "profiles": w.profiles, "leases_lost": w.leases_lost}
+                for w in sorted(report.distribution.fleet,
+                                key=lambda w: w.worker)
+            ],
         },
     }
 

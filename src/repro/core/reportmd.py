@@ -104,6 +104,38 @@ def app_report_markdown(report: AppReport) -> str:
         ]))
         sections.append("")
 
+    distribution = report.distribution
+    if distribution.enabled:
+        sections.append("## Fleet")
+        fleet_rows = [
+            ["coordinator listen address", distribution.listen],
+            ["workers joined", distribution.workers_joined],
+            ["workers lost", distribution.workers_lost],
+            ["leases granted", distribution.leases_granted],
+            ["lease redeliveries", distribution.redeliveries],
+            ["work-stealing copies", distribution.steals],
+            ["duplicate outcomes suppressed",
+             distribution.duplicates_suppressed],
+            ["heartbeat expiries", distribution.heartbeat_expiries],
+            ["lease deadline expiries", distribution.lease_expiries],
+            ["profiles quarantined", distribution.quarantined],
+            ["profiles run remotely", distribution.remote_profiles],
+            ["profiles run by local fallback", distribution.local_profiles],
+            ["degraded to local pool",
+             "**yes**" if distribution.degraded_to_local else "no"],
+        ]
+        for kind, count in sorted(distribution.net_faults.items()):
+            fleet_rows.append(["injected net faults (%s)" % kind, count])
+        sections.append(_table(["metric", "value"], fleet_rows))
+        sections.append("")
+        if distribution.fleet:
+            sections.append(_table(
+                ["Worker", "Connects", "Profiles", "Leases lost"],
+                [[w.worker, w.connects, w.profiles, w.leases_lost]
+                 for w in sorted(distribution.fleet,
+                                 key=lambda w: w.worker)]))
+            sections.append("")
+
     if report.degraded_tests:
         sections.append("## Infrastructure failures")
         quarantined = set(report.quarantined_tests)

@@ -268,13 +268,18 @@ class Supervisor:
 
     def __init__(self, campaign: Any, profiles: Sequence[Any],
                  checkpoint: Optional[Any],
-                 tests_by_name: Mapping[str, UnitTest]) -> None:
+                 tests_by_name: Mapping[str, UnitTest],
+                 outcome_sink: Optional[Any] = None) -> None:
         from repro.core.report import SupervisionStats
         config = campaign.config
         self.campaign = campaign
         self.profiles = list(profiles)
         self.checkpoint = checkpoint
         self.tests_by_name = tests_by_name
+        # Optional callback fired with (name, outcome) after each commit;
+        # the distributed worker uses it to ship results upstream while
+        # the pool keeps running.
+        self.outcome_sink = outcome_sink
         self.stats = SupervisionStats(enabled=True)
         self.deadline = config.profile_deadline_s
         self.heartbeat_timeout = max(config.heartbeat_timeout_s,
@@ -426,6 +431,8 @@ class Supervisor:
                                                      self.tests_by_name)
         parallel.commit_outcome(self.campaign, self.checkpoint, name, outcome)
         self.outcomes[name] = outcome
+        if self.outcome_sink is not None:
+            self.outcome_sink(name, outcome)
         self.consecutive_crashes = 0
         worker.task = None
         worker.state = IDLE
@@ -531,6 +538,8 @@ class Supervisor:
         outcome = ProfileOutcome(error=reason, error_kind=WORKER_CRASH)
         parallel.commit_outcome(self.campaign, self.checkpoint, name, outcome)
         self.outcomes[name] = outcome
+        if self.outcome_sink is not None:
+            self.outcome_sink(name, outcome)
         self.stats.quarantined += 1
         obs = self.campaign.observation
         if obs is not None:

@@ -179,3 +179,44 @@ class TestCampaignResume:
                           checkpoint_path=path).run()
         assert app_report_to_dict(second) == app_report_to_dict(first)
         assert all(count == 1 for count in counters.values())  # pre-run only
+
+
+class TestJournalDurability:
+    def test_directory_synced_when_journal_is_created(self, tmp_path,
+                                                      monkeypatch):
+        """A crash right after the first append must not lose the journal
+        *name*: the containing directory is fsynced when the JSONL file
+        comes into existence — and only then, later appends ride on the
+        file's own fsync."""
+        import repro.core.checkpoint as ck
+        synced = []
+        monkeypatch.setattr(ck, "fsync_directory",
+                            lambda path: synced.append(path))
+        path = str(tmp_path / "ck.jsonl")
+        checkpoint = CampaignCheckpoint(path)
+        result = evaluated_result()
+        checkpoint.record_test_done("synth::a", [result], PoolStats(), 1)
+        assert synced == [path]
+        checkpoint.record_test_done("synth::b", [result], PoolStats(), 1)
+        assert synced == [path]  # directory entry already durable
+
+    def test_recreated_journal_syncs_again(self, tmp_path, monkeypatch):
+        import os
+
+        import repro.core.checkpoint as ck
+        synced = []
+        monkeypatch.setattr(ck, "fsync_directory",
+                            lambda path: synced.append(path))
+        path = str(tmp_path / "ck.jsonl")
+        result = evaluated_result()
+        checkpoint = CampaignCheckpoint(path)
+        checkpoint.record_test_done("synth::a", [result], PoolStats(), 1)
+        os.unlink(path)  # rotation/cleanup between campaigns
+        checkpoint.record_test_done("synth::b", [result], PoolStats(), 1)
+        assert synced == [path, path]
+
+    def test_fsync_directory_is_harmless_on_real_paths(self, tmp_path):
+        from repro.core.checkpoint import fsync_directory
+        target = tmp_path / "ck.jsonl"
+        target.write_text("")
+        fsync_directory(str(target))  # must simply not raise

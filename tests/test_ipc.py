@@ -4,12 +4,14 @@ from __future__ import annotations
 
 import pytest
 
+import repro.perf as perf
 from repro.common.configuration import Configuration
 from repro.common.errors import RpcError, SaslError, SocketTimeout
 from repro.common.ipc import (IPC_SHARED_PARAMS, IpcComponent, RpcClient,
                               RpcServer, ipc_sharing_enabled, set_ipc_sharing)
 from repro.common.params import DURATION_MS, ENUM, INT, ParamRegistry
 from repro.common.simulation import Simulator
+from repro.core.confagent import ConfAgent
 
 
 def make_conf_class():
@@ -147,3 +149,84 @@ class TestSharedIpcComponent:
         client = RpcClient(client_conf, ipc=ipc)
         with pytest.raises(RpcError):
             client.call(server, "echo", 1)
+
+
+class TestCrossCheckMemo:
+    """The fast-path memo on IpcComponent.check_connection_params must be
+    an invisible optimisation: passed checks are skipped on repeat, but
+    any write to either conf (or any agent ownership change) re-runs the
+    full cross-check, and failures always raise and count."""
+
+    @pytest.fixture(autouse=True)
+    def fast_path_on(self):
+        previous = perf.set_fast_path(True)
+        yield
+        perf.set_fast_path(previous)
+
+    def test_repeat_check_skips_the_gets(self, conf_class):
+        ipc = IpcComponent(conf_class, shared=True)
+        caller = conf_class()
+        ipc.check_connection_params(caller)
+
+        def boom(name):
+            raise AssertionError("memoised check must not re-read %s" % name)
+
+        caller.get = boom  # instance shadow: any get would blow up
+        ipc.check_connection_params(caller)
+
+    def test_fast_path_off_rechecks_every_call(self, conf_class):
+        perf.set_fast_path(False)
+        ipc = IpcComponent(conf_class, shared=True)
+        caller = conf_class()
+        ipc.check_connection_params(caller)
+        assert not ipc._check_memo
+        ipc.check_connection_params(caller)
+        assert ipc.cross_check_failures == 0
+
+    def test_caller_write_invalidates_memo(self, conf_class):
+        ipc = IpcComponent(conf_class, shared=True)
+        caller = conf_class()
+        ipc.check_connection_params(caller)
+        caller.set("ipc.client.kill.max", 99)
+        with pytest.raises(RpcError):
+            ipc.check_connection_params(caller)
+        assert ipc.cross_check_failures == 1
+
+    def test_component_conf_write_invalidates_memo(self, conf_class):
+        ipc = IpcComponent(conf_class, shared=True)
+        caller = conf_class()
+        ipc.check_connection_params(caller)
+        ipc._own_conf.set("ipc.client.idlethreshold", 77)
+        with pytest.raises(RpcError):
+            ipc.check_connection_params(caller)
+        assert ipc.cross_check_failures == 1
+
+    def test_failures_are_never_memoised(self, conf_class):
+        ipc = IpcComponent(conf_class, shared=True)
+        caller = conf_class()
+        caller.set("ipc.client.connect.max.retries", 1000)
+        for expected in (1, 2, 3):
+            with pytest.raises(RpcError):
+                ipc.check_connection_params(caller)
+            assert ipc.cross_check_failures == expected
+        assert not ipc._check_memo
+
+    def test_record_usage_agent_disables_memo(self, conf_class):
+        ipc = IpcComponent(conf_class, shared=True)
+        caller = conf_class()
+        with ConfAgent(record_usage=True):
+            ipc.check_connection_params(caller)
+            assert not ipc._check_memo
+
+    def test_agent_ownership_change_invalidates_memo(self, conf_class):
+        ipc = IpcComponent(conf_class, shared=True)
+        caller = conf_class()
+        with ConfAgent() as agent:
+            ipc.check_connection_params(caller)
+            assert ipc._check_memo
+            agent.ownership_epoch += 1  # what any _forget_conf does
+            reads = []
+            real_get = caller.get
+            caller.get = lambda name: (reads.append(name), real_get(name))[1]
+            ipc.check_connection_params(caller)
+            assert reads  # stale memo discarded: the cross-check re-ran
