@@ -72,6 +72,9 @@ class DataNode(Node):
                 "dfs.datanode.drop.cache.behind.reads")
             self._scan_period_hours = self.conf.get_int(
                 "dfs.datanode.scan.period.hours")
+            # audit fixture: read but inert — nothing consumes this value
+            self._metrics_logger_period_s = self.conf.get_int(
+                "dfs.datanode.metrics.logger.period.seconds")
 
             # internals behind false positives
             self._directoryscan_interval = self.conf.get_int(

@@ -183,6 +183,18 @@ _d("dfs.datanode.du.reserved.pct", INT, 0,
 _d("dfs.storage.policy.enabled", BOOL, True,
    description="Allow setting storage policies.")
 
+# ---------------------------------------------------------------------------
+# wiring-audit fixtures: deliberately mis-wired parameters that the audit
+# (repro.core.audit) must flag.  Tagged so tests and CI can assert the
+# verdicts without hard-coding names elsewhere.
+# ---------------------------------------------------------------------------
+_d("dfs.namenode.lock.detailed-metrics.enabled", BOOL, False,
+   tags=("audit-fixture-unread",),
+   description="Audit fixture: documented but wired to no runtime path.")
+_d("dfs.datanode.metrics.logger.period.seconds", INT, 600,
+   candidates=(600, 6), tags=("audit-fixture-inert",),
+   description="Audit fixture: read at DataNode init, value never used.")
+
 #: Effective registry: HDFS parameters plus Hadoop Common's (Table 1).
 HDFS_FULL_REGISTRY = HDFS_REGISTRY.merged_with(COMMON_REGISTRY)
 

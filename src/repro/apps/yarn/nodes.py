@@ -124,6 +124,9 @@ class NodeManager(Node):
                 "yarn.nodemanager.vmem-pmem-ratio")
             self._log_aggregation = self.conf.get_bool(
                 "yarn.log-aggregation-enable")
+            # audit fixture: read but inert — nothing consumes this value
+            self._container_metrics_period_ms = self.conf.get_int(
+                "yarn.nodemanager.container-metrics.period-ms")
 
     def start(self) -> None:
         super().start()

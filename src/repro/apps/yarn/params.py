@@ -81,5 +81,17 @@ _d("yarn.scheduler.fair.preemption", BOOL, False,
 _d("yarn.timeline-service.hostname", STR, "0.0.0.0",
    description="Timeline service host.")
 
+# ---------------------------------------------------------------------------
+# wiring-audit fixtures: deliberately mis-wired parameters that the audit
+# (repro.core.audit) must flag.  Tagged so tests and CI can assert the
+# verdicts without hard-coding names elsewhere.
+# ---------------------------------------------------------------------------
+_d("yarn.nodemanager.disk-health-checker.enable", BOOL, True,
+   tags=("audit-fixture-unread",),
+   description="Audit fixture: documented but wired to no runtime path.")
+_d("yarn.nodemanager.container-metrics.period-ms", DURATION_MS, 3000,
+   candidates=(3000, 30), tags=("audit-fixture-inert",),
+   description="Audit fixture: read at NodeManager init, value never used.")
+
 #: YARN applications see Hadoop Common's parameters too (Table 1).
 YARN_FULL_REGISTRY = YARN_REGISTRY.merged_with(COMMON_REGISTRY)

@@ -52,6 +52,22 @@ def build_parser() -> argparse.ArgumentParser:
                               "paper's failure mechanism if it is in Table 3")
     why.add_argument("param")
 
+    audit = sub.add_parser("audit",
+                           help="registry wiring audit: flag parameters "
+                                "that are UNREAD or READ_BUT_INERT across "
+                                "an application's corpus "
+                                "(docs/AUDIT.md)")
+    audit.add_argument("app", choices=catalog.APP_NAMES)
+    audit.add_argument("--param", action="append", dest="params",
+                       metavar="NAME",
+                       help="restrict the audit to this parameter "
+                            "(repeatable)")
+    audit.add_argument("--all", action="store_true",
+                       help="print every verdict, not only the flagged "
+                            "parameters")
+    audit.add_argument("--json", metavar="PATH",
+                       help="also write the machine-readable audit here")
+
     campaign = sub.add_parser("campaign",
                               help="run ZebraConf on one application")
     campaign.add_argument("app", choices=catalog.APP_NAMES)
@@ -144,6 +160,12 @@ def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
                              "cache, so identical homogeneous baselines and "
                              "repeated confirmation/pool runs execute once; "
                              "verdicts are byte-identical either way")
+    parser.add_argument("--audit", action="store_true",
+                        help="run the registry wiring audit after the "
+                             "campaign (UNREAD / READ_BUT_INERT verdicts, "
+                             "docs/AUDIT.md); probe executions are "
+                             "accounted separately, so every other report "
+                             "section is unchanged")
     parser.add_argument("--pool-size", type=int, default=None,
                         help="max pooled parameters per run "
                              "(default: all, the paper's setting)")
@@ -365,6 +387,7 @@ def _config(args: argparse.Namespace) -> CampaignConfig:
                             checkpoint_path=args.checkpoint,
                             infra_retries=args.infra_retries,
                             exec_cache=args.exec_cache,
+                            audit=args.audit,
                             parallel_backend=args.parallel_backend,
                             schedule=args.schedule,
                             supervise=args.supervise,
@@ -497,6 +520,14 @@ def _print_app_report(report: AppReport) -> None:
           % (len(report.verdicts), len(report.true_problems),
              len(report.false_positives), report.executions,
              report.machine_time_s / 3600))
+    if report.audit is not None:
+        audit = report.audit
+        print("wiring audit: %d parameters — %d WIRED, %d UNREAD, "
+              "%d READ_BUT_INERT (%d flagged; %d probe executions in a "
+              "separate budget)"
+              % (audit.params_total, audit.wired, audit.unread,
+                 audit.inert, len(audit.flagged()),
+                 audit.probe_executions))
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -555,6 +586,33 @@ def main(argv: Optional[List[str]] = None) -> int:
             print("TABLE 3   : heterogeneous-UNSAFE — %s" % why_text)
         else:
             print("table 3   : not listed (no known heterogeneous hazard)")
+        return 0
+
+    if args.command == "audit":
+        from repro.core.audit import audit_app
+        started = time.time()
+        stats = audit_app(args.app, params=args.params)
+        print("wiring audit over %r finished in %.1fs: %d parameters — "
+              "%d WIRED, %d UNREAD, %d READ_BUT_INERT"
+              % (args.app, time.time() - started, stats.params_total,
+                 stats.wired, stats.unread, stats.inert))
+        print("probe economy: %d executions, %d memo hits, %d collapsed "
+              "onto the baseline (%.1f modelled machine hours)\n"
+              % (stats.probe_executions, stats.probe_cache_hits,
+                 stats.probes_collapsed, stats.machine_time_s / 3600))
+        shown = stats.findings if args.all else stats.flagged()
+        rows = [[f.param,
+                 f.verdict + (" (exempt)" if f.exempt else ""),
+                 len(f.read_sites), f.detail] for f in shown]
+        if rows:
+            print(render_table(["Parameter", "Verdict", "Read sites",
+                                "Detail"], rows))
+        else:
+            print("every audited parameter is wired")
+        if args.json:
+            with open(args.json, "w") as handle:
+                json.dump(stats.to_dict(), handle, indent=2)
+            print("\nwrote %s" % args.json)
         return 0
 
     if args.command == "worker":

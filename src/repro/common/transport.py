@@ -144,6 +144,14 @@ class FrameTransport:
         self.fault_counts: Dict[str, int] = {}
         self._send_lock = threading.Lock()
         self._closed = False
+        #: bytes of the in-progress inbound frame (header + payload so
+        #: far).  A read deadline can fire mid-frame; the bytes already
+        #: pulled off the stream stay here so the next ``recv`` resumes
+        #: the same frame instead of parsing its payload as a header.
+        self._rx_buf = bytearray()
+        #: payload length of the in-progress frame, once the header is
+        #: complete (None while still reading the header).
+        self._rx_frame_len: Optional[int] = None
         try:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         except OSError:  # pragma: no cover - non-TCP socket (tests)
@@ -190,12 +198,17 @@ class FrameTransport:
             self.sock.settimeout(timeout)
         except OSError as exc:
             raise TransportError("socket unusable: %s" % exc)
-        header = self._recv_exact(_HEADER.size)
-        (length,) = _HEADER.unpack(header)
-        if length > MAX_FRAME_BYTES:
-            raise TransportError("peer announced a %d-byte frame (limit %d)"
-                                 % (length, MAX_FRAME_BYTES))
-        payload = self._recv_exact(length)
+        if self._rx_frame_len is None:
+            self._fill(_HEADER.size)
+            (length,) = _HEADER.unpack(bytes(self._rx_buf[:_HEADER.size]))
+            if length > MAX_FRAME_BYTES:
+                raise TransportError("peer announced a %d-byte frame (limit %d)"
+                                     % (length, MAX_FRAME_BYTES))
+            self._rx_frame_len = length
+        self._fill(_HEADER.size + self._rx_frame_len)
+        payload = bytes(self._rx_buf[_HEADER.size:])
+        self._rx_buf.clear()
+        self._rx_frame_len = None
         self.frames_received += 1
         try:
             message = json.loads(payload.decode("utf-8"))
@@ -206,21 +219,20 @@ class FrameTransport:
                                  % type(message).__name__)
         return message
 
-    def _recv_exact(self, count: int) -> bytes:
-        chunks = []
-        remaining = count
-        while remaining:
+    def _fill(self, count: int) -> None:
+        """Grow ``_rx_buf`` to ``count`` bytes, preserving what is already
+        buffered when the read deadline fires so a retried ``recv`` resumes
+        the in-progress frame in sync with the stream."""
+        while len(self._rx_buf) < count:
             try:
-                chunk = self.sock.recv(remaining)
+                chunk = self.sock.recv(count - len(self._rx_buf))
             except socket.timeout:
                 raise TransportTimeout("no frame within the read deadline")
             except OSError as exc:
                 raise TransportError("recv failed: %s" % exc)
             if not chunk:
                 raise TransportError("connection closed by peer")
-            chunks.append(chunk)
-            remaining -= len(chunk)
-        return b"".join(chunks)
+            self._rx_buf.extend(chunk)
 
     # ------------------------------------------------------------------
     def _close_locked(self) -> None:
@@ -235,9 +247,17 @@ class FrameTransport:
             pass
 
     def close(self) -> None:
+        # A supervisor thread closes the transport to unblock a sender
+        # stuck in sendall() on a full kernel buffer — so the shutdown
+        # must happen *before* taking _send_lock, which that sender
+        # holds.  The fd itself is reclaimed under the lock afterwards.
+        self._closed = True
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
         with self._send_lock:
-            if not self._closed:
-                self._close_locked()
+            self._close_locked()
 
     @property
     def closed(self) -> bool:

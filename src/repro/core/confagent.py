@@ -152,6 +152,11 @@ class ConfAgent:
         self.node_counts: Dict[str, int] = {}
         #: owner key (node type, UNIT_TEST, or UNCERTAIN) -> params read.
         self.usage: Dict[str, Set[str]] = {}
+        #: read-site attribution: (node_type, node_index) -> {param -> get
+        #: count}.  Only populated while recording usage; the wiring audit
+        #: (repro.core.audit) inverts it into per-parameter read sites and
+        #: folds the counts into its behavioural fingerprints.
+        self.read_sites: Dict[Tuple[str, int], Dict[str, int]] = {}
         #: params read through uncertain conf objects.
         self.uncertain_params: Set[str] = set()
         #: params the test execution explicitly ``set`` on any conf.  An
@@ -353,6 +358,8 @@ class ConfAgent:
         node_type, node_index = self._resolve(conf)
         if self.record_usage:
             self.usage.setdefault(node_type, set()).add(name)
+            site = self.read_sites.setdefault((node_type, node_index), {})
+            site[name] = site.get(name, 0) + 1
             if node_type == UNCERTAIN:
                 self.uncertain_params.add(name)
         result = NO_OVERRIDE

@@ -70,8 +70,8 @@ __all__ = [
 #: does not exist as a span level — pooled testing deliberately runs
 #: *many* parameters per execution — so parameters ride along as span
 #: attributes instead (see docs/OBSERVABILITY.md).
-SPAN_KINDS = ("app", "prerun", "profile", "pool", "bisection", "instance",
-              "trial", "supervisor")
+SPAN_KINDS = ("app", "prerun", "audit", "profile", "pool", "bisection",
+              "instance", "trial", "supervisor")
 
 #: Modelled machine-seconds bucket boundaries.  Executions cost whole
 #: multiples of ``run_cost_s`` (default 60s), so buckets are chosen in
@@ -172,6 +172,22 @@ METRIC_CATALOG: Dict[str, MetricSpec] = {
     "zc_sched_prediction_error_executions_total": MetricSpec(
         "counter", "Sum of |predicted - actual| executions over usable "
         "profiles: the cost model's absolute forecasting error."),
+    "zc_audit_params_total": MetricSpec(
+        "counter", "Registry parameters audited by the wiring audit, "
+        "by verdict (WIRED / UNREAD / READ_BUT_INERT)."),
+    "zc_audit_probe_executions_total": MetricSpec(
+        "counter", "Differential probe executions performed by the "
+        "wiring audit (accounted separately from campaign executions)."),
+    "zc_audit_probe_cache_hits_total": MetricSpec(
+        "counter", "Audit probes answered from the per-audit memo "
+        "instead of executing."),
+    "zc_audit_probes_collapsed_total": MetricSpec(
+        "counter", "Audit probes skipped because their canonical form "
+        "collapsed onto the original-configuration baseline."),
+    "zc_audit_machine_seconds_total": MetricSpec(
+        "counter", "Modelled machine time of audit probe executions "
+        "(probe executions x run_cost_s; separate budget from "
+        "zc_machine_seconds_total)."),
     # -- volatile: depends on backend/host, excluded from the
     # -- deterministic snapshot (rendered only with include_volatile)
     "zc_runtime_workers_spawned_total": MetricSpec(

@@ -119,6 +119,13 @@ class CampaignConfig:
     #: memoize executions in a content-addressed cache (see
     #: repro.core.execcache); verdicts are byte-identical either way.
     exec_cache: bool = False
+    #: run the registry wiring audit (repro.core.audit) after the main
+    #: loop and attach its AuditStats to the report.  Audit probes are
+    #: accounted in their own zc_audit_* budget, so findings and
+    #: execution accounting are unchanged.  Deliberately NOT part of
+    #: checkpoint_settings(): a resumed campaign may toggle it freely
+    #: because the audit never touches the journal.
+    audit: bool = False
     #: how ``workers > 1`` fans out profiles: "thread" (GIL-bound, cheap)
     #: or "process" (fork-based, true parallelism over the pure-Python
     #: simulation).  Ignored at workers == 1.
@@ -431,6 +438,7 @@ class Campaign:
                                  blacklisted=self.tracker.blacklisted)
         self._emit_trace(profiles, results, verdicts, executions)
         cost_centers = self._cost_centers(usable, outcome_by_test)
+        audit_stats = self._run_audit(profiles)
         if self.observation is not None:
             self._assemble_spans(usable, outcome_by_test)
             self._finalize_runtime_metrics()
@@ -451,10 +459,50 @@ class Campaign:
             quarantined_tests=tuple(quarantined),
             degraded_errors=degraded_errors,
             exec_cache_enabled=self.config.exec_cache,
+            audit=audit_stats,
             supervision=self.supervision,
             distribution=self.distribution,
             cost_centers=cost_centers,
             observation=self.observation)
+
+    # ------------------------------------------------------------------
+    # wiring audit (--audit)
+    # ------------------------------------------------------------------
+    def _run_audit(self, profiles: List[TestProfile]) -> Optional[Any]:
+        """Registry wiring audit over the pre-run profiles (see
+        repro.core.audit).  Probe executions land in their own
+        ``zc_audit_*`` metrics and AuditStats.machine_time_s — never in
+        campaign execution accounting — so every other report section is
+        byte-identical with the audit on or off."""
+        if not self.config.audit:
+            return None
+        from repro.core.audit import (READ_BUT_INERT, UNREAD, WIRED,
+                                      audit_campaign)
+        if self.observation is None:
+            return audit_campaign(self, profiles)
+        with self.observation.span("audit", kind="audit") as span:
+            stats = audit_campaign(self, profiles)
+            span.attrs["params"] = stats.params_total
+            span.attrs["flagged"] = len(stats.flagged())
+        metrics = self.observation.metrics
+        for verdict, count in ((WIRED, stats.wired), (UNREAD, stats.unread),
+                               (READ_BUT_INERT, stats.inert)):
+            if count:
+                metrics.counter_inc("zc_audit_params_total", count,
+                                    verdict=verdict)
+        if stats.probe_executions:
+            metrics.counter_inc("zc_audit_probe_executions_total",
+                                stats.probe_executions)
+        if stats.probe_cache_hits:
+            metrics.counter_inc("zc_audit_probe_cache_hits_total",
+                                stats.probe_cache_hits)
+        if stats.probes_collapsed:
+            metrics.counter_inc("zc_audit_probes_collapsed_total",
+                                stats.probes_collapsed)
+        if stats.machine_time_s:
+            metrics.counter_inc("zc_audit_machine_seconds_total",
+                                stats.machine_time_s)
+        return stats
 
     # ------------------------------------------------------------------
     # execution cache

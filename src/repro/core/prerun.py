@@ -21,7 +21,7 @@ import random
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.confagent import UNIT_TEST, ConfAgent
 from repro.core.registry import TestContext, UnitTest
@@ -46,6 +46,11 @@ class TestProfile:
     #: execution cache must not collapse homo(param=default) onto the
     #: original run for these (injection shadows the explicit set).
     explicit_sets: Set[str] = field(default_factory=set)
+    #: read-site attribution: (node_type, node_index) -> {param -> get
+    #: count}.  The wiring audit (repro.core.audit) inverts this into
+    #: per-parameter read sites with component granularity.
+    read_sites: Dict[Tuple[str, int], Dict[str, int]] = field(
+        default_factory=dict)
     #: baseline failure message, if the test failed its pre-run.
     baseline_error: Optional[str] = None
     starts_nodes: bool = False
@@ -83,6 +88,8 @@ def prerun_test(test: UnitTest) -> TestProfile:
         profile.groups[UNIT_TEST] = 1
     profile.uncertain_params = set(agent.uncertain_params)
     profile.explicit_sets = set(agent.set_params)
+    profile.read_sites = {site: dict(counts)
+                          for site, counts in agent.read_sites.items()}
     return profile
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.audit import AuditStats
 from repro.core.pooling import PoolStats
 from repro.core.prerun import PreRunSummary
 from repro.core.runner import InstanceResult
@@ -194,6 +195,12 @@ class AppReport:
     supervision: SupervisionStats = field(default_factory=SupervisionStats)
     #: distributed-coordinator counters (all-zero without --distributed).
     distribution: DistributionStats = field(default_factory=DistributionStats)
+    #: registry wiring-audit results (repro.core.audit) when the campaign
+    #: ran with ``--audit``; None otherwise.  Audit probe executions are
+    #: accounted inside this block only — never in ``executions`` or
+    #: ``machine_time_s`` — so enabling the audit leaves every other
+    #: report section byte-identical.
+    audit: Optional[AuditStats] = None
     #: most expensive unit tests first (see CostCenter); () before the
     #: campaign computed them.
     cost_centers: Tuple[CostCenter, ...] = ()
@@ -337,6 +344,7 @@ def app_report_to_dict(report: AppReport) -> Dict[str, object]:
             "degraded_tests": list(report.degraded_tests),
             "quarantined_tests": list(report.quarantined_tests),
         },
+        "audit": (None if report.audit is None else report.audit.to_dict()),
         "cost_centers": [
             {"test": center.test, "executions": center.executions,
              "machine_time_s": center.machine_time_s,

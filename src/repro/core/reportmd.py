@@ -41,6 +41,34 @@ def app_report_markdown(report: AppReport) -> str:
         sections.append("_none_")
     sections.append("")
 
+    audit = report.audit
+    if audit is not None:
+        sections.append("## Wiring audit")
+        sections.append(_table(["metric", "value"], [
+            ["parameters audited", audit.params_total],
+            ["WIRED", audit.wired],
+            ["UNREAD", audit.unread],
+            ["READ_BUT_INERT", audit.inert],
+            ["flagged but exempt", audit.exempt_flagged],
+            ["differential probe executions",
+             format(audit.probe_executions, ",")],
+            ["probe cache hits", format(audit.probe_cache_hits, ",")],
+            ["probes collapsed onto baseline",
+             format(audit.probes_collapsed, ",")],
+            ["audit machine hours (separate budget)",
+             "%.1f" % (audit.machine_time_s / 3600)],
+        ]))
+        sections.append("")
+        flagged = audit.flagged()
+        if flagged:
+            sections.append(_table(
+                ["Parameter", "Verdict", "Read sites", "Detail"],
+                [["`%s`" % f.param, "**%s**" % f.verdict,
+                  len(f.read_sites), f.detail] for f in flagged]))
+        else:
+            sections.append("_every audited parameter is wired_")
+        sections.append("")
+
     hypo = report.hypothesis_stats
     sections.append("## Run statistics")
     stats_rows = [

@@ -121,6 +121,61 @@ class TestFrameTransport:
         with pytest.raises(net.TransportError):
             a.send({"kind": "x"})
 
+    def test_trickled_frame_survives_timeouts_in_sync(self):
+        """Regression: a timeout mid-frame used to discard the bytes
+        already read, so the retry parsed payload bytes as a header.
+        The partial frame must be buffered and resumed across retries,
+        and the *next* frame must still parse cleanly."""
+        left, right = socket.socketpair()
+        transport_ = net.FrameTransport(right)
+        payload = json.dumps({"kind": "trickled"}).encode()
+        header = net._HEADER.pack(len(payload))
+
+        left.sendall(header[:2])  # half a header, then stall
+        with pytest.raises(net.TransportTimeout):
+            transport_.recv(timeout=0.05)
+        left.sendall(header[2:] + payload[:3])  # rest of header + stall
+        with pytest.raises(net.TransportTimeout):
+            transport_.recv(timeout=0.05)
+        left.sendall(payload[3:])
+        assert transport_.recv(timeout=2.0) == {"kind": "trickled"}
+
+        second = json.dumps({"kind": "next"}).encode()
+        left.sendall(net._HEADER.pack(len(second)) + second)
+        assert transport_.recv(timeout=2.0) == {"kind": "next"}
+
+    @pytest.mark.chaos
+    def test_close_unblocks_a_sender_stuck_in_sendall(self):
+        """Regression: close() waited on _send_lock, which a sender
+        blocked in sendall() on a full kernel buffer holds — so the
+        supervisor's close hung too.  The shutdown must happen before
+        the lock so the stuck sender errors out and close() returns."""
+        left, right = socket.socketpair()
+        left.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, 8192)
+        right.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 8192)
+        sender = net.FrameTransport(left)
+        failed = threading.Event()
+
+        def pump():
+            try:
+                while True:
+                    sender.send({"blob": "x" * 65536})
+            except net.TransportError:
+                failed.set()
+
+        thread = threading.Thread(target=pump, daemon=True)
+        thread.start()
+        deadline = time.time() + 5.0
+        while sender.frames_sent == 0 and time.time() < deadline:
+            time.sleep(0.01)  # let the pump fill the kernel buffer
+        time.sleep(0.2)
+        started = time.time()
+        sender.close()
+        assert time.time() - started < 2.0, "close() blocked behind a sender"
+        assert failed.wait(timeout=5.0), "stuck sender never unblocked"
+        thread.join(timeout=5.0)
+        right.close()
+
 
 class TestNetFaultPlan:
     def test_inert_by_default(self):
