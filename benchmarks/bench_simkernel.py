@@ -98,6 +98,60 @@ def wire_encode(frames: int) -> int:
     return total
 
 
+def conf_get(lookups: int) -> int:
+    """Registry-backed ``Configuration.get`` outside any agent scope.
+
+    Exercises the ``agent_getter`` fast path (a bound contextvar ``get``
+    versus the ``current_agent()`` wrapper frame) on the hottest call in
+    the harness.  The win is one Python frame per lookup — real but
+    small, so this row is recorded for trajectory without a speedup
+    assertion or committed baseline.
+    """
+    import sys
+    sys.path.insert(0, "tests") if "tests" not in sys.path else None
+    from synthetic_app import SynthConfiguration
+
+    conf = SynthConfiguration()
+    conf.set("synth.replication", 3)
+    total = 0
+    for _ in range(lookups):
+        total += conf.get("synth.replication")
+    return total
+
+
+def conf_get_findings_identical() -> bool:
+    """A full campaign must report identically with FAST_PATH off and on.
+
+    The fast path must be a pure mechanism change: same agent, same
+    interception, same findings.  Runs the synthetic corpus twice and
+    compares the findings projection byte-for-byte.
+    """
+    import json
+    import sys
+    sys.path.insert(0, "tests") if "tests" not in sys.path else None
+    from synthetic_app import (SYNTH_REGISTRY, client_vs_service_test,
+                               safe_only_test, two_service_test)
+    from repro.core.orchestrator import Campaign, CampaignConfig
+    from repro.core.report import app_report_to_dict, findings_projection
+
+    def run_once() -> str:
+        tests = [two_service_test(), client_vs_service_test(),
+                 safe_only_test()]
+        report = Campaign("synth", SYNTH_REGISTRY, tests=tests,
+                          config=CampaignConfig()).run()
+        return json.dumps(findings_projection(app_report_to_dict(report)),
+                          sort_keys=True)
+
+    previous = perf.set_fast_path(False)
+    try:
+        legacy_findings = run_once()
+        perf.set_fast_path(True)
+        fast_findings = run_once()
+    finally:
+        perf.set_fast_path(previous)
+    return legacy_findings == fast_findings
+
+
 def event_throughput(events: int) -> float:
     sim = Simulator()
     for i in range(events):
@@ -124,6 +178,15 @@ def measure() -> dict:
                            "wall_fast_s": fast,
                            "speedup": legacy / fast}
 
+    # Trajectory row (no >1.0 assertion, no baseline: the win is a single
+    # Python frame per lookup and too small to gate CI on).
+    _, legacy, fast = _ab(conf_get, 200000)
+    rows["conf_get"] = {"lookups": 200000, "wall_legacy_s": legacy,
+                        "wall_fast_s": fast, "speedup": legacy / fast}
+
+    rows["conf_get_findings_identical"] = {
+        "identical": conf_get_findings_identical()}
+
     rows["event_throughput"] = {"events": 50000,
                                 "events_per_s": event_throughput(50000)}
     return rows
@@ -149,6 +212,10 @@ def test_simkernel_fast_path(benchmark):
     assert rows["cancel_heavy"]["speedup"] > 1.0
     assert rows["pending_scan"]["speedup"] > 1.0
     assert rows["wire_encode"]["speedup"] > 1.0
+
+    # The conf-get fast path must be behaviour-preserving: a campaign run
+    # with FAST_PATH off and on reports byte-identical findings.
+    assert rows["conf_get_findings_identical"]["identical"]
 
     regressions = check_against_baseline(ARTIFACT, rows)
     assert not regressions, "\n".join(regressions)

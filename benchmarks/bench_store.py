@@ -1,0 +1,95 @@
+"""Result-store benchmark: what a warm start is worth.
+
+Runs the same real-application campaign twice against one ``--store``
+directory.  The cold pass pays every execution and populates the store;
+the warm pass must serve the repeated work from persisted entries,
+execute strictly less, and report byte-identical findings — the central
+acceptance criterion of the store.
+
+Absolute wall-clock is a host property; the executions ratio travels,
+but it is a function of the corpus (not of store implementation
+quality), so the rows are recorded for trajectory without a committed
+baseline.  The strict assertions are behavioural: fewer executions,
+identical findings, zero store misses on the warm pass.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+import time
+
+from _shared import write_bench_artifact
+from repro.apps import catalog
+from repro.core.orchestrator import Campaign, CampaignConfig
+from repro.core.report import app_report_to_dict, findings_projection
+
+ARTIFACT = "BENCH_store.json"
+APP = "mapreduce"
+
+
+def _run(store_dir):
+    spec = catalog.spec_for(APP)
+    config = CampaignConfig(store_path=store_dir)
+    campaign = Campaign(APP, spec.registry,
+                        dependency_rules=spec.dependency_rules,
+                        config=config)
+    started = time.perf_counter()
+    report = campaign.run()
+    wall = time.perf_counter() - started
+    return report, wall
+
+
+def measure() -> dict:
+    root = tempfile.mkdtemp(prefix="bench-store-")
+    try:
+        cold, cold_wall = _run(root)
+        warm, warm_wall = _run(root)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    cold_findings = json.dumps(
+        findings_projection(app_report_to_dict(cold)), sort_keys=True)
+    warm_findings = json.dumps(
+        findings_projection(app_report_to_dict(warm)), sort_keys=True)
+
+    return {
+        "warm_start": {
+            "app": APP,
+            "cold_executions": cold.executions,
+            "warm_executions": warm.executions,
+            "executions_saved": cold.executions - warm.executions,
+            "execution_reduction": (cold.executions /
+                                    max(warm.executions, 1)),
+            "cold_wall_s": cold_wall,
+            "warm_wall_s": warm_wall,
+            "store_appends": cold.store.appends,
+            "store_entries_loaded": warm.store.entries_loaded,
+            "store_hits": warm.store.hits,
+            "store_misses": warm.store.misses,
+            "findings_identical": cold_findings == warm_findings,
+        },
+    }
+
+
+def test_store_warm_start(benchmark):
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    row = rows["warm_start"]
+
+    print("\nResult-store warm start (%s):" % row["app"])
+    print("  cold: %d executions in %.1fs" % (row["cold_executions"],
+                                              row["cold_wall_s"]))
+    print("  warm: %d executions in %.1fs (%d served from the store, "
+          "%.1fx fewer executions)"
+          % (row["warm_executions"], row["warm_wall_s"],
+             row["store_hits"], row["execution_reduction"]))
+
+    write_bench_artifact(ARTIFACT, rows)
+
+    # The store's contract, not a perf ratio: strictly fewer executions
+    # warm, no warm misses, byte-identical findings.
+    assert row["warm_executions"] < row["cold_executions"]
+    assert row["store_hits"] > 0
+    assert row["store_misses"] == 0
+    assert row["findings_identical"]

@@ -6,6 +6,8 @@ Usage (installed as ``python -m repro``)::
     python -m repro list-params hdfs --unsafe-only
     python -m repro corpus mapreduce
     python -m repro campaign yarn --json yarn.json --trace yarn-trace.jsonl
+    python -m repro campaign yarn --store ./results   # warm-start next run
+    python -m repro store stats ./results
     python -m repro evaluate --json full.json
 """
 
@@ -13,6 +15,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import List, Optional
@@ -119,7 +122,27 @@ def build_parser() -> argparse.ArgumentParser:
                         help="consecutive failed (re)connects before the "
                              "worker gives up (default 8; backoff is "
                              "exponential with jitter)")
+    worker.add_argument("--store", metavar="DIR", default=None,
+                        help="durable result store for this worker's own "
+                             "executions (local directory; store paths "
+                             "never travel over the wire)")
+    worker.add_argument("--dist-secret", metavar="SECRET",
+                        default=os.environ.get("REPRO_DIST_SECRET") or None,
+                        help="shared secret for the HMAC handshake with the "
+                             "coordinator (default: $REPRO_DIST_SECRET); a "
+                             "worker with a secret refuses coordinators "
+                             "that do not authenticate")
     _add_net_fault_flags(worker)
+
+    store = sub.add_parser("store",
+                           help="inspect or compact a durable result store "
+                                "(docs/STORE.md)")
+    store.add_argument("action", choices=("stats", "verify", "gc"),
+                       help="stats: substrate and record totals; verify: "
+                            "full integrity scan (exit 1 on any damage); "
+                            "gc: compact quiescent segments, dropping "
+                            "superseded duplicates and damaged spans")
+    store.add_argument("dir", metavar="DIR", help="store directory")
 
     validate = sub.add_parser("validate-obs",
                               help="schema-check observability artifacts "
@@ -160,6 +183,12 @@ def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
                              "cache, so identical homogeneous baselines and "
                              "repeated confirmation/pool runs execute once; "
                              "verdicts are byte-identical either way")
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="durable cross-campaign result store: implies "
+                             "--exec-cache semantics, persists outcomes and "
+                             "reports to DIR so a second campaign starts "
+                             "warm; findings are byte-identical warm or "
+                             "cold (docs/STORE.md)")
     parser.add_argument("--audit", action="store_true",
                         help="run the registry wiring audit after the "
                              "campaign (UNREAD / READ_BUT_INERT verdicts, "
@@ -227,6 +256,21 @@ def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
         resilience.add_argument(flag, type=float, default=None,
                                 metavar="PROB",
                                 help="%s (overrides the --chaos preset)" % text)
+    for flag, text in (
+            ("--fault-disk-torn-write", "a store append is torn mid-record "
+                                        "(prefix reaches disk, then EIO)"),
+            ("--fault-disk-short-write", "a store append silently persists "
+                                         "only a prefix"),
+            ("--fault-disk-enospc", "a store append fails with ENOSPC "
+                                    "before writing anything"),
+            ("--fault-disk-crash-after-write", "the process crashes "
+                                               "immediately after a durable "
+                                               "store append")):
+        resilience.add_argument(flag, type=float, default=0.0,
+                                metavar="PROB",
+                                help="probability %s; applies only to the "
+                                     "--store disk layer, seeded by "
+                                     "--fault-seed" % text)
     resilience.add_argument("--supervise", default=True,
                             action=argparse.BooleanOptionalAction,
                             help="supervise process workers: contain "
@@ -298,6 +342,14 @@ def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
                              help="how long to run with zero live workers "
                                   "(after some joined) before degrading to "
                                   "the local pool (default 10)")
+    distributed.add_argument("--dist-secret", metavar="SECRET",
+                             default=os.environ.get("REPRO_DIST_SECRET")
+                             or None,
+                             help="shared secret for the worker HMAC "
+                                  "handshake (default: $REPRO_DIST_SECRET); "
+                                  "unauthenticated workers are rejected and "
+                                  "the secret never appears on the wire or "
+                                  "in the checkpoint journal")
     _add_net_fault_flags(parser, group=distributed)
     observability = parser.add_argument_group(
         "observability", "span tracing, metrics, live progress "
@@ -374,6 +426,17 @@ def _fault_plan(args: argparse.Namespace) -> "Optional[FaultPlan]":
     return plan if plan.active else None
 
 
+def _disk_fault_plan(args: argparse.Namespace) -> "Optional[DiskFaultPlan]":
+    from repro.common.faults import DiskFaultPlan
+    plan = DiskFaultPlan(
+        seed=args.fault_seed,
+        torn_write_prob=args.fault_disk_torn_write,
+        short_write_prob=args.fault_disk_short_write,
+        enospc_prob=args.fault_disk_enospc,
+        crash_after_write_prob=args.fault_disk_crash_after_write)
+    return plan if plan.active else None
+
+
 def _config(args: argparse.Namespace) -> CampaignConfig:
     from repro.core.tracelog import TraceLog
     only = frozenset(args.params) if args.params else None
@@ -387,6 +450,9 @@ def _config(args: argparse.Namespace) -> CampaignConfig:
                             checkpoint_path=args.checkpoint,
                             infra_retries=args.infra_retries,
                             exec_cache=args.exec_cache,
+                            store_path=args.store,
+                            disk_fault_plan=_disk_fault_plan(args),
+                            dist_secret=args.dist_secret,
                             audit=args.audit,
                             parallel_backend=args.parallel_backend,
                             schedule=args.schedule,
@@ -501,6 +567,63 @@ def _validate_obs(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _store_command(args: argparse.Namespace) -> int:
+    """``repro store {stats,verify,gc} DIR``."""
+    from repro.core.store import ResultStore, StoreError
+    store = ResultStore(args.dir)
+    try:
+        summary = store.summary()
+        if args.action == "stats":
+            print("store %s: %d segment(s), %s bytes"
+                  % (args.dir, summary["segments"],
+                     format(summary["bytes"], ",")))
+            print("records: %d entries (%d deterministic, %d seeded), "
+                  "%d report(s)"
+                  % (summary["entries"], summary["deterministic"],
+                     summary["seeded"], summary["reports"]))
+            rows = [[s["app"], s["digest"], s["entries"], s["reports"]]
+                    for s in summary["substrates"]]
+            if rows:
+                print(render_table(["App", "Corpus digest", "Entries",
+                                    "Reports"], rows))
+            if summary["corrupt_records"] or summary["truncated_tails"]:
+                print("damage: %d corrupt record(s), %d truncated tail(s) "
+                      "— %d record(s) salvaged around them; run "
+                      "`repro store gc %s` to drop the damaged spans"
+                      % (summary["corrupt_records"],
+                         summary["truncated_tails"],
+                         summary["salvaged_records"], args.dir))
+            return 0
+        if args.action == "verify":
+            damage = summary["corrupt_records"] + summary["truncated_tails"]
+            if damage:
+                print("store %s: DAMAGED — %d corrupt record(s), %d "
+                      "truncated tail(s); %d intact record(s) remain "
+                      "readable" % (args.dir, summary["corrupt_records"],
+                                    summary["truncated_tails"],
+                                    summary["entries"] + summary["reports"]),
+                      file=sys.stderr)
+                return 1
+            print("store %s: OK — %d record(s) across %d segment(s), "
+                  "every frame intact"
+                  % (args.dir, summary["entries"] + summary["reports"],
+                     summary["segments"]))
+            return 0
+        result = store.gc()
+        print("gc %s: compacted %d segment(s)%s, kept %d live segment(s) "
+              "untouched; %d entries + %d report(s) survive, %d damaged "
+              "span(s) dropped"
+              % (args.dir, result["compacted_segments"],
+                 " into %s" % result["segment"] if "segment" in result
+                 else "",
+                 result["kept_segments"], result["entries"],
+                 result["reports"], result["dropped_damage"]))
+        return 0
+    except StoreError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+
+
 def _print_app_report(report: AppReport) -> None:
     print("instance counts per stage:")
     for stage, count in report.stage_counts.rows():
@@ -535,6 +658,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "validate-obs":
         return _validate_obs(args)
+
+    if args.command == "store":
+        return _store_command(args)
 
     if args.command == "list-apps":
         corpus = load_all_suites()
@@ -625,7 +751,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             crash_loop_threshold=args.crash_loop_threshold,
             profile_deadline_s=args.profile_deadline,
             worker_rlimit_cpu_s=args.worker_rlimit_cpu,
-            worker_rlimit_mem_mb=args.worker_rlimit_mem)
+            worker_rlimit_mem_mb=args.worker_rlimit_mem,
+            store_path=args.store,
+            dist_secret=args.dist_secret)
         return run_worker(args.connect, worker_config=worker_config,
                           name=args.name,
                           net_fault_plan=_net_fault_plan(args),
@@ -636,11 +764,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         spec = catalog.spec_for(args.app)
         config = _config(args)
         started = time.time()
+        from repro.core.store import StoreError
         try:
             report = Campaign(args.app, spec.registry,
                               dependency_rules=spec.dependency_rules,
                               config=config).run()
-        except CheckpointError as exc:
+        except (CheckpointError, StoreError) as exc:
             print("error: %s" % exc, file=sys.stderr)
             return 2
         print("campaign over %r finished in %.1fs\n"
@@ -672,9 +801,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         config = _config(args)
         started = time.time()
+        from repro.core.store import StoreError
         try:
             report = run_full_campaign(config)
-        except CheckpointError as exc:
+        except (CheckpointError, StoreError) as exc:
             print("error: %s" % exc, file=sys.stderr)
             return 2
         print("full evaluation finished in %.1fs\n" % (time.time() - started))

@@ -310,3 +310,142 @@ class FaultInjector:
     @property
     def total_faults(self) -> int:
         return sum(self.counts.values())
+
+
+# ----------------------------------------------------------------------
+# disk faults (hooks in repro.core.store via FaultyFile)
+# ----------------------------------------------------------------------
+
+class InjectedDiskFault(OSError):
+    """An injected I/O error (torn write, ENOSPC).  Subclasses OSError so
+    the store's real-world degradation path (catch OSError, go read-only)
+    handles injected and genuine disk failures identically."""
+
+
+class InjectedCrash(BaseException):
+    """Simulated process death immediately *after* a durable write.
+
+    Deliberately a BaseException: the store's (and campaign's) ordinary
+    ``except OSError`` / ``except Exception`` recovery must not be able to
+    swallow it, exactly as no handler survives SIGKILL.  Tests catch it
+    explicitly at the outermost level and then reopen the store cold.
+    """
+
+
+@dataclass(frozen=True)
+class DiskFaultPlan:
+    """Declarative disk chaos for the result store: probabilities + seed.
+
+    Mirrors :class:`FaultPlan` but targets the *harness's own* durable
+    writes rather than the simulated application: decisions are made per
+    physical ``write()`` call on a store segment, deterministically from
+    ``(seed, file label, write index)``, so a given store layout replays
+    the same fault schedule under the same seed.
+    """
+
+    seed: int = 0
+    #: the write is cut short *and* the process is assumed dead: a seeded
+    #: prefix of the frame reaches the platter, then InjectedDiskFault.
+    torn_write_prob: float = 0.0
+    #: the write is cut short but *reported as complete* (a lying disk /
+    #: lost sector): a prefix is written and the call returns success.
+    short_write_prob: float = 0.0
+    #: the write fails up front with ENOSPC; nothing reaches the disk.
+    enospc_prob: float = 0.0
+    #: the write completes and is fsynced, then the process "dies"
+    #: (InjectedCrash).  Probes the durability claim: the record must be
+    #: served after reopen.
+    crash_after_write_prob: float = 0.0
+
+    @property
+    def active(self) -> bool:
+        return any((self.torn_write_prob, self.short_write_prob,
+                    self.enospc_prob, self.crash_after_write_prob))
+
+    def write_decision(self, label: str, index: int) -> Optional[str]:
+        """Which fault (if any) strikes write ``index`` on file ``label``.
+
+        One roll per write, partitioned over the four kinds in a fixed
+        order, so at most one fault fires per write and each kind's
+        marginal probability matches its field.
+        """
+        if not self.active:
+            return None
+        rng = random.Random(fault_seed(self.seed, "disk-write", label, index))
+        roll = rng.random()
+        for kind, prob in (("torn-write", self.torn_write_prob),
+                           ("short-write", self.short_write_prob),
+                           ("enospc", self.enospc_prob),
+                           ("crash-after-write", self.crash_after_write_prob)):
+            if roll < prob:
+                return kind
+            roll -= prob
+        return None
+
+    def keep_bytes(self, label: str, index: int, size: int) -> int:
+        """How many leading bytes of a torn/short write survive (at least
+        one byte short of complete, so the frame is always damaged)."""
+        if size <= 1:
+            return 0
+        rng = random.Random(fault_seed(self.seed, "disk-keep", label, index))
+        return rng.randrange(0, size - 1)
+
+
+class FaultyFile:
+    """A binary file wrapper that consults a :class:`DiskFaultPlan` on
+    every ``write``.  The policy lives on the plan, the mechanism here,
+    and the *victim* (the store) only sees OSError/success — mirroring
+    ``FaultPlan.worker_crash_decision``'s policy/mechanism split.
+    """
+
+    def __init__(self, handle: Any, plan: DiskFaultPlan, label: str = "",
+                 counts: Optional[Dict[str, int]] = None) -> None:
+        self._handle = handle
+        self.plan = plan
+        self.label = label
+        self.counts = counts if counts is not None else {}
+        self._write_index = 0
+
+    def _count(self, kind: str) -> None:
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+
+    def write(self, data: bytes) -> int:
+        import errno as _errno
+        import os as _os
+        index = self._write_index
+        self._write_index += 1
+        kind = self.plan.write_decision(self.label, index)
+        if kind is None:
+            return self._handle.write(data)
+        self._count(kind)
+        if kind == "enospc":
+            raise InjectedDiskFault(
+                _errno.ENOSPC, "injected ENOSPC on %s" % self.label)
+        if kind in ("torn-write", "short-write"):
+            keep = self.plan.keep_bytes(self.label, index, len(data))
+            if keep:
+                self._handle.write(data[:keep])
+            # the torn prefix is what a crash would leave on disk: make it
+            # visible to the next open rather than hiding it in a buffer.
+            self._handle.flush()
+            _os.fsync(self._handle.fileno())
+            if kind == "torn-write":
+                raise InjectedDiskFault(
+                    _errno.EIO, "injected torn write on %s" % self.label)
+            return len(data)  # short write: the disk lies about success
+        # crash-after-write: the record is fully durable, then we "die".
+        self._handle.write(data)
+        self._handle.flush()
+        _os.fsync(self._handle.fileno())
+        raise InjectedCrash("injected crash after durable write on %s"
+                            % self.label)
+
+    # pass-through surface the store needs from a real file object
+    def flush(self) -> None:
+        self._handle.flush()
+
+    def fileno(self) -> int:
+        return self._handle.fileno()
+
+    def close(self) -> None:
+        self._handle.close()

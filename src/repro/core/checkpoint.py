@@ -164,7 +164,11 @@ class CampaignCheckpoint:
         self.partial_tests.clear()
         if not os.path.exists(self.path):
             return 0
-        with open(self.path) as handle:
+        # errors="replace": a crash mid-append can leave raw garbage bytes
+        # (not just a truncated JSON line) at the tail; undecodable bytes
+        # become U+FFFD, json.loads refuses them, and the loop below stops
+        # trusting the file there instead of load() blowing up.
+        with open(self.path, errors="replace") as handle:
             for line in handle:
                 line = line.strip()
                 if not line:

@@ -117,6 +117,14 @@ def current_agent() -> Any:
     return _current_agent.get()
 
 
+#: Bound method for hot paths (``Configuration.get`` reads the agent on
+#: every configuration lookup): calling the contextvar's ``get`` directly
+#: skips one Python frame per call.  Semantically identical to
+#: :func:`current_agent`; gated behind ``perf.FAST_PATH`` at call sites
+#: so the A/B benches can measure and verify the equivalence.
+agent_getter = _current_agent.get
+
+
 class ConfAgent:
     """One ZebraConf session: tracks conf ownership for a single test run.
 

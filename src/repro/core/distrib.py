@@ -47,6 +47,9 @@ order (:meth:`Campaign._run_inner`).  The lease queue is LPT-ordered
 
 from __future__ import annotations
 
+import hashlib
+import hmac
+import os
 import random
 import socket
 import threading
@@ -74,6 +77,15 @@ LINGER_S = 1.5
 EXIT_OK = 0
 EXIT_RECONNECTS_EXHAUSTED = 1
 EXIT_REJECTED = 2
+
+
+def _auth_mac(secret: str, role: str, nonce: str) -> str:
+    """HMAC-SHA256 proof of secret knowledge over the *other* side's
+    nonce.  The role string domain-separates the two directions so a
+    coordinator's proof can never be replayed back as a worker's."""
+    return hmac.new(secret.encode("utf-8"),
+                    ("%s:%s" % (role, nonce)).encode("utf-8"),
+                    hashlib.sha256).hexdigest()
 
 
 def corpus_digest(campaign: Any) -> int:
@@ -112,6 +124,10 @@ class _Conn:
     def __init__(self, transport_: Optional[net.FrameTransport]) -> None:
         self.transport = transport_
         self.worker: Optional[_RemoteWorker] = None
+        #: server nonce issued with this connection's auth challenge.
+        self.auth_nonce: str = ""
+        #: the hello stashed while its sender proves secret knowledge.
+        self.pending_hello: Optional[Dict[str, Any]] = None
 
 
 class Coordinator:
@@ -144,6 +160,9 @@ class Coordinator:
         self.fleet_grace = config.dist_fleet_grace_s
         self.redelivery = max(config.worker_redelivery, 0)
         self.net_plan = config.net_fault_plan
+        #: shared secret for the HMAC challenge-response handshake
+        #: (None/"" = open coordinator, legacy hello/welcome).
+        self.secret = config.dist_secret
 
         self.lock = threading.Lock()
         self.cond = threading.Condition(self.lock)
@@ -289,7 +308,29 @@ class Coordinator:
                         ) -> Optional[Dict[str, Any]]:
         kind = message.get("kind")
         if kind == "hello":
+            if self.secret:
+                # Challenge-response folded into the hello/welcome
+                # exchange: stash the hello, prove *our* knowledge of the
+                # secret over the worker's nonce (mutual auth), and make
+                # the worker prove its own over ours before the welcome.
+                conn.auth_nonce = os.urandom(16).hex()
+                conn.pending_hello = dict(message)
+                return {"kind": "challenge", "nonce": conn.auth_nonce,
+                        "mac": _auth_mac(self.secret, "coordinator",
+                                         str(message.get("nonce") or ""))}
             return self._hello_locked(conn, message)
+        if kind == "auth":
+            if not self.secret or conn.pending_hello is None:
+                return {"kind": "reject", "reason": "unexpected auth"}
+            hello, conn.pending_hello = conn.pending_hello, None
+            expected = _auth_mac(self.secret, "worker", conn.auth_nonce)
+            if not hmac.compare_digest(expected,
+                                       str(message.get("mac") or "")):
+                self.stats.auth_rejects += 1
+                return {"kind": "reject",
+                        "reason": "authentication failed (shared secret "
+                                  "mismatch)"}
+            return self._hello_locked(conn, hello)
         if conn.worker is not None:
             conn.worker.last_seen = time.monotonic()
         if kind == "heartbeat":
@@ -598,6 +639,13 @@ def _config_from_settings(settings: Mapping[str, Any], run_cost_s: float,
         exec_cache=settings["exec_cache"],
         run_cost_s=run_cost_s,
         observe=observe,
+        # Local-execution shape (never findings-bearing): the worker's
+        # own durable store and its disk chaos come from its own flags,
+        # not the coordinator's — store paths do not travel between
+        # hosts, and the content-addressed keys make sharing safe.
+        store_path=base.store_path,
+        disk_fault_plan=base.disk_fault_plan,
+        dist_secret=base.dist_secret,
         workers=base.workers,
         parallel_backend=base.parallel_backend,
         supervise=base.supervise,
@@ -715,11 +763,39 @@ def run_worker(connect: str, worker_config: Optional[Any] = None,
                     host, port, timeout=5.0,
                     conn_id="%s#%d" % (worker_name, attempt),
                     plan=net_fault_plan)
+                worker_nonce = os.urandom(16).hex()
                 transport_.send({"kind": "hello", "worker": worker_name,
                                  "slots": max(base.workers, 1),
+                                 "nonce": worker_nonce,
                                  "digest": (corpus_digest(campaign)
                                             if campaign is not None else None)})
                 welcome = transport_.recv(timeout=CONTROL_TIMEOUT_S)
+                if welcome.get("kind") == "challenge":
+                    secret = base.dist_secret
+                    if not secret:
+                        say("worker %s: coordinator requires a shared "
+                            "secret (--dist-secret / REPRO_DIST_SECRET)"
+                            % worker_name)
+                        return EXIT_REJECTED
+                    coordinator_proof = _auth_mac(secret, "coordinator",
+                                                  worker_nonce)
+                    if not hmac.compare_digest(
+                            coordinator_proof,
+                            str(welcome.get("mac") or "")):
+                        say("worker %s: coordinator failed mutual "
+                            "authentication; refusing to join"
+                            % worker_name)
+                        return EXIT_REJECTED
+                    transport_.send({"kind": "auth", "mac": _auth_mac(
+                        secret, "worker", str(welcome.get("nonce") or ""))})
+                    welcome = transport_.recv(timeout=CONTROL_TIMEOUT_S)
+                elif base.dist_secret and welcome.get("kind") == "welcome":
+                    # Mutual requirement: a worker carrying a secret must
+                    # not hand results to a coordinator that never proved
+                    # it holds the same one.
+                    say("worker %s: coordinator did not authenticate; "
+                        "refusing to join" % worker_name)
+                    return EXIT_REJECTED
                 if welcome.get("kind") == "reject":
                     say("worker %s: rejected: %s"
                         % (worker_name, welcome.get("reason")))

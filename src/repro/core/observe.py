@@ -264,6 +264,38 @@ METRIC_CATALOG: Dict[str, MetricSpec] = {
     "zc_dist_net_faults_total": MetricSpec(
         "counter", "Injected transport faults on coordinator-side "
         "connections, by kind.", volatile=True),
+    "zc_dist_auth_rejects_total": MetricSpec(
+        "counter", "Connections refused by the HMAC handshake (bad or "
+        "missing shared secret).", volatile=True),
+    # Result-store counters live in their own zc_store_* budget and are
+    # volatile by construction: what a store serves depends on the
+    # campaigns that ran before this one, not on this one's findings.
+    "zc_store_hits_total": MetricSpec(
+        "counter", "Cache lookups served from the persistent store.",
+        volatile=True),
+    "zc_store_misses_total": MetricSpec(
+        "counter", "Cache lookups that missed memory and the persistent "
+        "store (true cold).", volatile=True),
+    "zc_store_appends_total": MetricSpec(
+        "counter", "Records durably appended to the store.", volatile=True),
+    "zc_store_salvaged_records_total": MetricSpec(
+        "counter", "Intact records recovered from damaged segments at "
+        "open.", volatile=True),
+    "zc_store_corrupt_records_total": MetricSpec(
+        "counter", "Damage events (bad CRC/magic/length) skipped at "
+        "open.", volatile=True),
+    "zc_store_truncated_tails_total": MetricSpec(
+        "counter", "Segments ending in an incomplete frame (interrupted "
+        "final append).", volatile=True),
+    "zc_store_stale_refused_total": MetricSpec(
+        "counter", "Same-app entries refused for a mismatched corpus "
+        "digest.", volatile=True),
+    "zc_store_write_errors_total": MetricSpec(
+        "counter", "Failed store appends (the writer degrades to "
+        "read-only after the first).", volatile=True),
+    "zc_store_entries_loaded": MetricSpec(
+        "gauge", "Entries served from disk for this campaign's "
+        "substrate at open.", volatile=True),
 }
 
 

@@ -10,7 +10,7 @@ fan out across a thread pool (the paper used up to 100 machines; §4
 from __future__ import annotations
 
 import traceback
-from dataclasses import asdict, dataclass, field, fields
+from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.common.faults import FaultPlan
@@ -69,6 +69,7 @@ _DIST_METRICS = {
     "heartbeat_expiries": "zc_dist_heartbeat_expiries_total",
     "lease_expiries": "zc_dist_lease_expiries_total",
     "quarantined": "zc_dist_quarantined_total",
+    "auth_rejects": "zc_dist_auth_rejects_total",
     "remote_profiles": "zc_dist_remote_profiles_total",
     "local_profiles": "zc_dist_local_fallback_profiles_total",
 }
@@ -119,6 +120,20 @@ class CampaignConfig:
     #: memoize executions in a content-addressed cache (see
     #: repro.core.execcache); verdicts are byte-identical either way.
     exec_cache: bool = False
+    #: directory of the durable cross-campaign result store (see
+    #: repro.core.store).  Implies the execution cache: lookups fall
+    #: through to persisted entries and fresh outcomes are appended
+    #: durably, so a second campaign against the same store starts warm.
+    #: Findings are byte-identical warm or cold.
+    store_path: Optional[str] = None
+    #: deterministic disk chaos applied to the store's own writes
+    #: (repro.common.faults.DiskFaultPlan; None = clean disk).  Exercises
+    #: the store's salvage/degradation paths, never the simulated app.
+    disk_fault_plan: Optional[Any] = None
+    #: shared secret for the distributed transport's HMAC challenge-
+    #: response handshake (None = unauthenticated).  Deliberately NOT
+    #: part of checkpoint_settings(): secrets must never be journaled.
+    dist_secret: Optional[str] = None
     #: run the registry wiring audit (repro.core.audit) after the main
     #: loop and attach its AuditStats to the report.  Audit probes are
     #: accounted in their own zc_audit_* budget, so findings and
@@ -215,6 +230,11 @@ class CampaignConfig:
             # cache on records content-derived dedup in its counters, and a
             # resume that silently flipped the mode would mix them.
             "exec_cache": self.exec_cache,
+            # Same argument for the persistent store: a warm store serves
+            # cached outcomes, so the journal's execution counters were
+            # produced under a specific store mode.  Only presence is
+            # recorded — the path itself may move between hosts.
+            "store": bool(self.store_path),
         }
 
 
@@ -261,6 +281,9 @@ class Campaign:
         self.tracker = FrequentFailureTracker(self.config.blacklist_threshold)
         #: per-run execution cache (built in _run when config.exec_cache).
         self._cache: Optional[ExecutionCache] = None
+        #: durable cross-campaign result store (opened lazily by
+        #: _build_cache when config.store_path; closed after each run).
+        self._store: Optional[Any] = None
         #: per-run scheduler cost model (rebuilt in _run_inner once the
         #: pre-run profiles exist).
         self.cost_model = CostModel(self)
@@ -287,6 +310,9 @@ class Campaign:
             return self._run()
         finally:
             set_ipc_sharing(previous_sharing)
+            if self._store is not None:
+                self._store.close()
+                self._store = None
 
     def _observing(self) -> bool:
         return (self.config.observe
@@ -442,7 +468,7 @@ class Campaign:
         if self.observation is not None:
             self._assemble_spans(usable, outcome_by_test)
             self._finalize_runtime_metrics()
-        return AppReport(
+        report = AppReport(
             app=self.app,
             stage_counts=stage_counts,
             prerun_summary=PreRunSummary.from_profiles(profiles),
@@ -458,12 +484,22 @@ class Campaign:
             degraded_tests=tuple(degraded),
             quarantined_tests=tuple(quarantined),
             degraded_errors=degraded_errors,
-            exec_cache_enabled=self.config.exec_cache,
+            exec_cache_enabled=(self.config.exec_cache
+                                or bool(self.config.store_path)),
             audit=audit_stats,
             supervision=self.supervision,
             distribution=self.distribution,
+            store=(None if self._store is None
+                   else replace(self._store.stats)),
             cost_centers=cost_centers,
             observation=self.observation)
+        if self._store is not None:
+            # the finished report is itself a store record, so a later
+            # campaign (or ``repro store stats``) can read past findings
+            # without re-running anything.
+            from repro.core.report import app_report_to_dict
+            self._store.put_report(app_report_to_dict(report))
+        return report
 
     # ------------------------------------------------------------------
     # wiring audit (--audit)
@@ -510,16 +546,39 @@ class Campaign:
     def _build_cache(self) -> Optional[ExecutionCache]:
         """A fresh per-run cache keyed by everything that shapes a single
         execution's behaviour (so stale outcomes can never be served)."""
-        if not self.config.exec_cache:
+        if not self.config.exec_cache and not self.config.store_path:
             return None
-        return ExecutionCache(context={
+        context = {
             "app": self.app,
             "fault_plan": (None if self.config.fault_plan is None
                            else asdict(self.config.fault_plan)),
             "watchdog_sim_s": self.config.watchdog_sim_s,
             "infra_retries": self.config.infra_retries,
             "disable_ipc_sharing": self.config.disable_ipc_sharing,
-        })
+        }
+        store = self._open_store()
+        if store is not None:
+            from repro.core.store import StoreBackedExecutionCache
+            return StoreBackedExecutionCache(context, store)
+        return ExecutionCache(context=context)
+
+    def _open_store(self) -> Optional[Any]:
+        """Open (once per run) the durable result store for this
+        campaign's substrate.  The disk may be damaged — open() salvages
+        and counts; only an unusable root or a store written by a newer
+        format raises (StoreError, surfaced like a checkpoint refusal)."""
+        if not self.config.store_path:
+            return None
+        if self._store is None:
+            # the distribution handshake digest doubles as the store's
+            # substrate guard: same app name + same corpus/registry shape.
+            from repro.core.distrib import corpus_digest
+            from repro.core.store import ResultStore
+            store = ResultStore(self.config.store_path,
+                                disk_fault_plan=self.config.disk_fault_plan)
+            store.open(self.app, corpus_digest(self))
+            self._store = store
+        return self._store
 
     # ------------------------------------------------------------------
     # checkpoint/resume
@@ -758,6 +817,21 @@ class Campaign:
             for tier, size in sorted(self._cache.tier_sizes().items()):
                 metrics.gauge_max("zc_runtime_exec_cache_entries", size,
                                   tier=tier)
+        if self._store is not None:
+            stats = self._store.stats
+            for value, metric in (
+                    (stats.hits, "zc_store_hits_total"),
+                    (stats.misses, "zc_store_misses_total"),
+                    (stats.appends, "zc_store_appends_total"),
+                    (stats.salvaged_records, "zc_store_salvaged_records_total"),
+                    (stats.corrupt_records, "zc_store_corrupt_records_total"),
+                    (stats.truncated_tails, "zc_store_truncated_tails_total"),
+                    (stats.stale_refused, "zc_store_stale_refused_total"),
+                    (stats.write_errors, "zc_store_write_errors_total")):
+                if value:
+                    metrics.counter_inc(metric, value)
+            metrics.gauge_max("zc_store_entries_loaded",
+                              stats.entries_loaded)
 
     def _cost_centers(self, usable: Sequence[TestProfile],
                       outcome_by_test: Mapping[str, ProfileOutcome],

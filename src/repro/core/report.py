@@ -128,6 +128,8 @@ class DistributionStats:
     lease_expiries: int = 0
     #: profiles quarantined as WORKER_CRASH after exhausting redelivery.
     quarantined: int = 0
+    #: connections refused by the HMAC handshake (bad/missing secret).
+    auth_rejects: int = 0
     #: profiles committed from remote outcomes.
     remote_profiles: int = 0
     #: profiles finished by the local fallback pool after degradation.
@@ -195,6 +197,11 @@ class AppReport:
     supervision: SupervisionStats = field(default_factory=SupervisionStats)
     #: distributed-coordinator counters (all-zero without --distributed).
     distribution: DistributionStats = field(default_factory=DistributionStats)
+    #: durable result-store counters (repro.core.store.StoreStats) when
+    #: the campaign ran with ``--store``; None otherwise.  Volatile like
+    #: supervision/distribution: a warm run legitimately reports
+    #: different numbers here while reproducing the same findings.
+    store: Optional[object] = None
     #: registry wiring-audit results (repro.core.audit) when the campaign
     #: ran with ``--audit``; None otherwise.  Audit probe executions are
     #: accounted inside this block only — never in ``executions`` or
@@ -365,6 +372,19 @@ def app_report_to_dict(report: AppReport) -> Dict[str, object]:
             "circuit_breaker_tripped":
                 report.supervision.circuit_breaker_tripped,
         },
+        "store": (None if report.store is None else {
+            "enabled": True,
+            "segments": report.store.segments,
+            "entries_loaded": report.store.entries_loaded,
+            "hits": report.store.hits,
+            "misses": report.store.misses,
+            "appends": report.store.appends,
+            "salvaged_records": report.store.salvaged_records,
+            "corrupt_records": report.store.corrupt_records,
+            "truncated_tails": report.store.truncated_tails,
+            "stale_refused": report.store.stale_refused,
+            "write_errors": report.store.write_errors,
+        }),
         "distribution": {
             "enabled": report.distribution.enabled,
             "listen": report.distribution.listen,
@@ -376,6 +396,7 @@ def app_report_to_dict(report: AppReport) -> Dict[str, object]:
             "duplicates_suppressed": report.distribution.duplicates_suppressed,
             "heartbeat_expiries": report.distribution.heartbeat_expiries,
             "lease_expiries": report.distribution.lease_expiries,
+            "auth_rejects": report.distribution.auth_rejects,
             "quarantined": report.distribution.quarantined,
             "remote_profiles": report.distribution.remote_profiles,
             "local_profiles": report.distribution.local_profiles,
@@ -389,6 +410,23 @@ def app_report_to_dict(report: AppReport) -> Dict[str, object]:
             ],
         },
     }
+
+
+#: The subset of :func:`app_report_to_dict` that constitutes *findings*:
+#: everything the paper's tables are built from.  Deliberately excludes
+#: operational accounting (executions, machine time, cache/store/
+#: supervision/distribution counters, per-test cost centers), which
+#: legitimately differs between a cold and a warm ``--store`` run while
+#: the findings must stay byte-identical.
+FINDINGS_KEYS: Tuple[str, ...] = (
+    "app", "stage_counts", "verdicts", "true_problems", "false_positives",
+    "blacklisted", "prerun", "hypothesis_testing", "pool_stats")
+
+
+def findings_projection(record: Dict[str, object]) -> Dict[str, object]:
+    """The findings slice of an ``app_report_to_dict`` record, used by
+    warm-vs-cold store equivalence assertions in tests, benches and CI."""
+    return {key: record[key] for key in FINDINGS_KEYS}
 
 
 def campaign_report_to_dict(report: CampaignReport) -> Dict[str, object]:

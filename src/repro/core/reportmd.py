@@ -132,6 +132,35 @@ def app_report_markdown(report: AppReport) -> str:
         ]))
         sections.append("")
 
+    store = report.store
+    if store is not None and store.enabled:
+        sections.append("## Result store")
+        store_rows = [
+            ["segments", store.segments],
+            ["entries loaded at open", format(store.entries_loaded, ",")],
+            ["reports loaded at open", store.reports_loaded],
+            ["store hits", format(store.hits, ",")],
+            ["store misses", format(store.misses, ",")],
+            ["entries appended", format(store.appends, ",")],
+        ]
+        if store.salvaged_records or store.corrupt_records \
+                or store.truncated_tails:
+            store_rows.append(["records salvaged from damaged segments",
+                               store.salvaged_records])
+            store_rows.append(["corrupt records skipped",
+                               store.corrupt_records])
+            store_rows.append(["truncated tails skipped",
+                               store.truncated_tails])
+        if store.stale_refused:
+            store_rows.append(["stale entries refused (digest mismatch)",
+                               store.stale_refused])
+        if store.write_errors:
+            store_rows.append(
+                ["write errors (store degraded to read-only)",
+                 "**%d**" % store.write_errors])
+        sections.append(_table(["metric", "value"], store_rows))
+        sections.append("")
+
     distribution = report.distribution
     if distribution.enabled:
         sections.append("## Fleet")
@@ -146,6 +175,8 @@ def app_report_markdown(report: AppReport) -> str:
              distribution.duplicates_suppressed],
             ["heartbeat expiries", distribution.heartbeat_expiries],
             ["lease deadline expiries", distribution.lease_expiries],
+            ["connections refused by auth handshake",
+             distribution.auth_rejects],
             ["profiles quarantined", distribution.quarantined],
             ["profiles run remotely", distribution.remote_profiles],
             ["profiles run by local fallback", distribution.local_profiles],

@@ -102,6 +102,24 @@ class TestJournal:
         assert fresh.load() == 1
         assert fresh.has_test("synth::a") and not fresh.has_test("synth::b")
 
+    def test_torn_tail_with_binary_garbage_is_discarded(self, tmp_path):
+        """A crash mid-append can leave more than a truncated JSON line:
+        preallocated blocks and torn sector writes surface as raw garbage
+        bytes after the partial record.  Load must salvage every complete
+        record and stop at the tear instead of blowing up."""
+        path = str(tmp_path / "ck.jsonl")
+        checkpoint = CampaignCheckpoint(path)
+        result = evaluated_result()
+        checkpoint.record_test_done("synth::a", [result], PoolStats(), 1)
+        checkpoint.record_test_done("synth::b", [result], PoolStats(), 2)
+        with open(path, "ab") as handle:
+            handle.write(b'{"kind": "test-done", "test": "synth::c", "tru')
+            handle.write(b"\x00\xff\xfe\x00garbage\xffgarbage")
+        fresh = CampaignCheckpoint(path)
+        assert fresh.load() == 2
+        assert fresh.has_test("synth::a") and fresh.has_test("synth::b")
+        assert not fresh.has_test("synth::c")
+
     def test_partial_instances_do_not_count_as_done(self, tmp_path):
         path = str(tmp_path / "ck.jsonl")
         checkpoint = CampaignCheckpoint(path)
@@ -157,6 +175,34 @@ class TestCampaignResume:
         # tests execute beyond that on resume.
         skipped = [n for n, c in sorted(counters.items()) if c == 1]
         assert len(skipped) == 3
+
+    def test_resume_after_torn_append_is_byte_identical(self, tmp_path):
+        """Crash *during* an append: the journal ends in half a test-done
+        record followed by garbage bytes.  Resume must salvage the complete
+        records, redo the torn test, and report byte-identically."""
+        path = str(tmp_path / "campaign.jsonl")
+        full = campaign(counting_tests({}), checkpoint_path=path).run()
+
+        raw = open(path, "rb").read()
+        lines = raw.splitlines(keepends=True)
+        done_seen = 0
+        kept = b""
+        torn = None
+        for line in lines:
+            if b'"kind": "test-done"' in line:
+                done_seen += 1
+                if done_seen == 3:
+                    torn = line
+                    break
+            kept += line
+        assert torn is not None
+        with open(path, "wb") as handle:
+            handle.write(kept)
+            handle.write(torn[: len(torn) // 2])  # the append that tore
+            handle.write(b"\x00\xff\xfejournal sector garbage\xff")
+
+        resumed = campaign(counting_tests({}), checkpoint_path=path).run()
+        assert app_report_to_dict(resumed) == app_report_to_dict(full)
 
     def test_checkpointing_does_not_change_results(self, tmp_path):
         plain = campaign(counting_tests({})).run()

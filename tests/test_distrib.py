@@ -433,6 +433,84 @@ class TestCoordinatorProtocol:
 
 
 # ---------------------------------------------------------------------------
+# shared-secret HMAC handshake (protocol level)
+# ---------------------------------------------------------------------------
+def hello_message(name="w1", nonce="aabb"):
+    return {"kind": "hello", "worker": name, "slots": 1, "digest": None,
+            "nonce": nonce}
+
+
+class TestAuthHandshake:
+    def test_open_coordinator_ignores_nonce_and_welcomes(self):
+        _, coordinator, _ = make_coordinator()
+        conn = _Conn(None)
+        with coordinator.lock:
+            reply = coordinator._handle_message(conn, hello_message())
+        assert reply["kind"] == "welcome"
+
+    def test_hello_gets_challenge_with_coordinator_proof(self):
+        from repro.core.distrib import _auth_mac
+        _, coordinator, _ = make_coordinator(dist_secret="hunter2")
+        conn = _Conn(None)
+        with coordinator.lock:
+            reply = coordinator._handle_message(conn, hello_message())
+        assert reply["kind"] == "challenge"
+        # mutual: the coordinator proves itself over the *worker's* nonce
+        assert reply["mac"] == _auth_mac("hunter2", "coordinator", "aabb")
+        assert reply["nonce"] != "aabb"
+        assert coordinator.stats.workers_joined == 0  # not joined yet
+
+    def test_correct_mac_joins(self):
+        from repro.core.distrib import _auth_mac
+        campaign, coordinator, _ = make_coordinator(dist_secret="hunter2")
+        conn = _Conn(None)
+        with coordinator.lock:
+            challenge = coordinator._handle_message(conn, hello_message())
+            welcome = coordinator._handle_message(conn, {
+                "kind": "auth",
+                "mac": _auth_mac("hunter2", "worker", challenge["nonce"])})
+        assert welcome["kind"] == "welcome"
+        assert welcome["digest"] == corpus_digest(campaign)
+        assert coordinator.stats.workers_joined == 1
+        assert coordinator.stats.auth_rejects == 0
+
+    def test_wrong_mac_rejected_and_counted(self):
+        _, coordinator, _ = make_coordinator(dist_secret="hunter2")
+        conn = _Conn(None)
+        with coordinator.lock:
+            coordinator._handle_message(conn, hello_message())
+            reply = coordinator._handle_message(
+                conn, {"kind": "auth", "mac": "0" * 64})
+        assert reply["kind"] == "reject"
+        assert coordinator.stats.auth_rejects == 1
+        assert coordinator.stats.workers_joined == 0
+        # the stale challenge is spent: a retry cannot reuse it
+        with coordinator.lock:
+            again = coordinator._handle_message(
+                conn, {"kind": "auth", "mac": "0" * 64})
+        assert again["kind"] == "reject"
+
+    def test_unsolicited_auth_rejected(self):
+        _, coordinator, _ = make_coordinator()
+        with coordinator.lock:
+            reply = coordinator._handle_message(
+                _Conn(None), {"kind": "auth", "mac": "whatever"})
+        assert reply["kind"] == "reject"
+
+    def test_fetch_without_completing_auth_rejected(self):
+        _, coordinator, _ = make_coordinator(dist_secret="hunter2")
+        conn = _Conn(None)
+        with coordinator.lock:
+            coordinator._handle_message(conn, hello_message())
+        assert fetch(coordinator, conn)["kind"] == "reject"
+
+    def test_secret_never_journaled(self):
+        config = decoupled_config(dist_secret="hunter2")
+        settings = config.checkpoint_settings()
+        assert "hunter2" not in json.dumps(settings)
+
+
+# ---------------------------------------------------------------------------
 # end-to-end: coordinator + in-process workers over real TCP
 # ---------------------------------------------------------------------------
 def run_distributed(n_workers=2, worker_kwargs=None, config_kwargs=None,
@@ -543,6 +621,57 @@ class TestDistributedEndToEnd:
         assert exit_codes[0] == EXIT_RECONNECTS_EXHAUSTED
         assert stats.degraded_to_local
         assert stats.local_profiles > 0
+
+    def test_authenticated_fleet_byte_identical_to_serial(
+            self, serial_baseline):
+        secret = CampaignConfig(dist_secret="fleet-secret")
+        report, stats, exit_codes = run_distributed(
+            n_workers=2,
+            worker_kwargs={0: {"worker_config": secret},
+                           1: {"worker_config": secret}},
+            config_kwargs={"dist_secret": "fleet-secret"})
+        assert full_dict(report) == serial_baseline
+        assert exit_codes == {0: EXIT_OK, 1: EXIT_OK}
+        assert stats.workers_joined == 2
+        assert stats.auth_rejects == 0
+
+    def test_secretless_worker_refused_by_secret_coordinator(
+            self, serial_baseline):
+        report, stats, exit_codes = run_distributed(
+            n_workers=1,
+            config_kwargs={"dist_secret": "fleet-secret",
+                           "dist_join_grace_s": 1.0})
+        # the worker walks away at the challenge (it has nothing to
+        # prove with), so the coordinator never even counts a reject
+        assert exit_codes[0] == EXIT_REJECTED
+        assert stats.remote_profiles == 0
+        assert full_dict(report) == serial_baseline
+
+    def test_wrong_secret_worker_refused(self, serial_baseline):
+        # mutual verification: the worker checks the coordinator's proof
+        # first, sees a mac built from a different secret, and refuses
+        # before ever answering the challenge.
+        report, stats, exit_codes = run_distributed(
+            n_workers=1,
+            worker_kwargs={0: {"worker_config":
+                               CampaignConfig(dist_secret="wrong")}},
+            config_kwargs={"dist_secret": "fleet-secret",
+                           "dist_join_grace_s": 1.0})
+        assert exit_codes[0] == EXIT_REJECTED
+        assert stats.remote_profiles == 0
+        assert full_dict(report) == serial_baseline
+
+    def test_secret_worker_refuses_open_coordinator(self, serial_baseline):
+        # mutual auth: the worker will not ship results to a coordinator
+        # that cannot prove secret knowledge.
+        report, stats, exit_codes = run_distributed(
+            n_workers=1,
+            worker_kwargs={0: {"worker_config":
+                               CampaignConfig(dist_secret="mine")}},
+            config_kwargs={"dist_join_grace_s": 1.0})
+        assert exit_codes[0] == EXIT_REJECTED
+        assert stats.remote_profiles == 0
+        assert full_dict(report) == serial_baseline
 
     def test_worker_with_skewed_corpus_refused(self, serial_baseline):
         def skewed(app, config):
