@@ -9,6 +9,7 @@ Usage (installed as ``python -m repro``)::
     python -m repro campaign yarn --store ./results   # warm-start next run
     python -m repro store stats ./results
     python -m repro evaluate --json full.json
+    python -m repro serve --serve-state ./state --store ./results
 """
 
 from __future__ import annotations
@@ -143,6 +144,61 @@ def build_parser() -> argparse.ArgumentParser:
                             "gc: compact quiescent segments, dropping "
                             "superseded duplicates and damaged spans")
     store.add_argument("dir", metavar="DIR", help="store directory")
+    store.add_argument("--json", action="store_true",
+                       help="print the machine-readable result on stdout "
+                            "instead of the human rendering (exit codes "
+                            "are unchanged)")
+
+    serve = sub.add_parser("serve",
+                           help="run the campaign-as-a-service HTTP/JSON "
+                                "daemon: accept campaign submissions, "
+                                "schedule them FIFO over a shared result "
+                                "store, stream progress, serve reports "
+                                "(docs/SERVICE.md)")
+    serve.add_argument("listen", nargs="?", default="127.0.0.1:8787",
+                       metavar="[HOST:]PORT",
+                       help="listen address (default 127.0.0.1:8787; "
+                            "port 0 binds an ephemeral port)")
+    serve.add_argument("--serve-state", required=True, metavar="DIR",
+                       help="persistent daemon state: job specs, status, "
+                            "event feeds, reports, and the digest-keyed "
+                            "checkpoint journals that make a SIGKILL'd "
+                            "daemon resumable on restart")
+    serve.add_argument("--serve-max-active", type=int, default=1,
+                       metavar="N",
+                       help="campaigns run concurrently (default 1); "
+                            "queued jobs wait FIFO")
+    serve.add_argument("--store", metavar="DIR", default=None,
+                       help="durable result store shared by every "
+                            "submission with \"store\": true (warm "
+                            "resubmissions are served strictly cheaper; "
+                            "docs/STORE.md)")
+    serve.add_argument("--serve-secret", metavar="SECRET",
+                       default=os.environ.get("REPRO_SERVE_SECRET")
+                       or os.environ.get("REPRO_DIST_SECRET") or None,
+                       help="require `Authorization: Bearer <token>` on "
+                            "mutating endpoints, where the token is the "
+                            "HMAC of this secret (print it with `repro "
+                            "serve-token`; default: $REPRO_SERVE_SECRET, "
+                            "then $REPRO_DIST_SECRET)")
+    serve.add_argument("--dist-secret", metavar="SECRET",
+                       default=os.environ.get("REPRO_DIST_SECRET") or None,
+                       help="shared secret forwarded to campaigns that "
+                            "request \"distributed\" dispatch over a "
+                            "worker fleet (default: $REPRO_DIST_SECRET)")
+
+    token = sub.add_parser("serve-token",
+                           help="print the bearer token for a serve "
+                                "secret (what clients must send in "
+                                "`Authorization: Bearer <token>`)")
+    token.add_argument("--secret", metavar="SECRET",
+                       default=os.environ.get("REPRO_SERVE_SECRET")
+                       or os.environ.get("REPRO_DIST_SECRET") or None,
+                       help="the daemon's --serve-secret (default: "
+                            "$REPRO_SERVE_SECRET, then $REPRO_DIST_SECRET)")
+    token.add_argument("--json", action="store_true",
+                       help="print {\"token\": ...} instead of the bare "
+                            "hex token")
 
     validate = sub.add_parser("validate-obs",
                               help="schema-check observability artifacts "
@@ -568,10 +624,28 @@ def _validate_obs(args: argparse.Namespace) -> int:
 
 
 def _store_command(args: argparse.Namespace) -> int:
-    """``repro store {stats,verify,gc} DIR``."""
+    """``repro store {stats,verify,gc} DIR [--json]``.
+
+    ``--json`` prints the machine-readable result (the same dict
+    ``ResultStore.summary()``/``gc()`` return, plus an ``ok`` flag for
+    ``verify``) on stdout; exit codes are identical either way, so
+    scripts can both parse and gate in one call.
+    """
     from repro.core.store import ResultStore, StoreError
     store = ResultStore(args.dir)
     try:
+        if args.json:
+            if args.action == "gc":
+                record = store.gc()
+            else:
+                record = store.summary()
+                if args.action == "verify":
+                    record["ok"] = not (record["corrupt_records"]
+                                        or record["truncated_tails"])
+            print(json.dumps(record, indent=2, sort_keys=True))
+            if args.action == "verify" and not record["ok"]:
+                return 1
+            return 0
         summary = store.summary()
         if args.action == "stats":
             print("store %s: %d segment(s), %s bytes"
@@ -620,6 +694,8 @@ def _store_command(args: argparse.Namespace) -> int:
                  result["reports"], result["dropped_damage"]))
         return 0
     except StoreError as exc:
+        if args.json:
+            print(json.dumps({"error": str(exc)}))
         print("error: %s" % exc, file=sys.stderr)
         return 2
 
@@ -661,6 +737,27 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "store":
         return _store_command(args)
+
+    if args.command == "serve":
+        from repro.core.service import run_service
+        return run_service(args.listen, state_dir=args.serve_state,
+                           store_path=args.store,
+                           max_active=args.serve_max_active,
+                           secret=args.serve_secret,
+                           dist_secret=args.dist_secret)
+
+    if args.command == "serve-token":
+        from repro.core.service import service_token
+        if not args.secret:
+            print("error: no secret (pass --secret or set "
+                  "$REPRO_SERVE_SECRET)", file=sys.stderr)
+            return 2
+        token = service_token(args.secret)
+        if args.json:
+            print(json.dumps({"token": token}))
+        else:
+            print(token)
+        return 0
 
     if args.command == "list-apps":
         corpus = load_all_suites()

@@ -687,6 +687,7 @@ class _OutcomeShipper:
         self.broken = False
 
     def ship(self, name: str, outcome: Any) -> None:
+        """Send one profile outcome and wait for its ack (stash first)."""
         message = {"kind": "result", "task": name,
                    "delivery": self.deliveries.get(name, 1),
                    "outcome": parallel.profile_outcome_to_dict(outcome)}
@@ -707,6 +708,11 @@ class _OutcomeShipper:
             self.broken = True
 
     def resend_unacked(self) -> None:
+        """After a reconnect: replay every stashed outcome, oldest first.
+
+        Stops at the first failure and leaves the rest stashed for the
+        next reconnect; duplicates are suppressed coordinator-side.
+        """
         for name in sorted(self.unacked):
             if self.broken:
                 return

@@ -39,6 +39,18 @@ from repro.core.triage import ParamVerdict, triage_report
 #: (the worker/thread survived; partial accounting was preserved).
 HARNESS_ERROR = "harness-error"
 
+
+class CampaignCancelled(BaseException):
+    """Cooperative cancellation requested via CampaignConfig.cancel_event.
+
+    A BaseException (like KeyboardInterrupt) so the graceful-degradation
+    ``except Exception`` containment in the profile runners lets it
+    propagate instead of folding it into a degraded outcome.  Profiles
+    committed before the cancel are already journaled through the
+    checkpoint layer, so a cancelled campaign resumes exactly like a
+    crashed one.
+    """
+
 #: PoolStats field -> deterministic metric name.  Driven off the stats
 #: object so the observability layer and the report always agree (the
 #: reconciliation check in repro.core.observe depends on it).
@@ -207,6 +219,20 @@ class CampaignConfig:
     #: None = no progress line).  Implies observation: the line is fed
     #: from the metrics registry at every profile commit.
     progress_stream: Optional[Any] = None
+    #: callable(snapshot_dict) invoked on the committing thread after
+    #: every profile commit (same snapshot the progress line renders).
+    #: Implies observation.  Exceptions from the hook are swallowed — a
+    #: broken consumer must not degrade the campaign.  Used by the
+    #: service layer (repro.core.jobqueue) to stream NDJSON events.
+    progress_hook: Optional[Any] = None
+    #: threading.Event polled between profiles; when set the campaign
+    #: raises CampaignCancelled instead of starting the next profile.
+    #: Checked in the serial loop and at the start of every profile on
+    #: the thread backend; the process/distributed backends only observe
+    #: it between pool drains, so in-flight profiles there finish first.
+    #: Deliberately NOT part of checkpoint_settings(): cancellation is a
+    #: runtime act, not a campaign setting.
+    cancel_event: Optional[Any] = None
 
     def param_allowed(self, name: str) -> bool:
         return self.only_params is None or name in self.only_params
@@ -316,7 +342,14 @@ class Campaign:
 
     def _observing(self) -> bool:
         return (self.config.observe
-                or self.config.progress_stream is not None)
+                or self.config.progress_stream is not None
+                or self.config.progress_hook is not None)
+
+    def _check_cancelled(self) -> None:
+        """Raise CampaignCancelled if the config's cancel event is set."""
+        event = self.config.cancel_event
+        if event is not None and event.is_set():
+            raise CampaignCancelled(self.app)
 
     def _run(self) -> AppReport:
         if not self._observing():
@@ -338,6 +371,7 @@ class Campaign:
                 self._progress = None
 
     def _run_inner(self) -> AppReport:
+        self._check_cancelled()
         obs = self.observation
         if obs is not None:
             with obs.span("prerun", kind="prerun") as prerun_span:
@@ -412,6 +446,7 @@ class Campaign:
         else:
             fresh = []
             for profile in pending:
+                self._check_cancelled()
                 outcome = self._run_profile_contained(profile, checkpoint)
                 self._profile_committed(outcome)
                 fresh.append(outcome)
@@ -761,6 +796,12 @@ class Campaign:
             obs.metrics.counter_inc("zc_profiles_total", status=status)
         if self._progress is not None:
             self._progress.tick(self._progress_snapshot())
+        hook = self.config.progress_hook
+        if hook is not None and self.observation is not None:
+            try:
+                hook(self._progress_snapshot())
+            except Exception:  # noqa: BLE001 - consumer must not hurt us
+                pass
 
     def _progress_snapshot(self) -> Dict[str, Any]:
         metrics = self.observation.metrics
@@ -900,6 +941,7 @@ class Campaign:
         loop, a worker thread, or a forked worker — serialised onto the
         outcome so the parent can merge it deterministically.
         """
+        self._check_cancelled()
         if not self._observing():
             return self._profile_body(profile, checkpoint, None)
         obs = Observation(metrics=MetricsRegistry(

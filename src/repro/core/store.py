@@ -183,6 +183,7 @@ class _SegmentScan:
 
     @property
     def damaged(self) -> bool:
+        """True when the scan hit any corrupt record or truncated tail."""
         return bool(self.corrupt or self.truncated)
 
 
@@ -239,6 +240,7 @@ class ResultStore:
     # ------------------------------------------------------------------
     @property
     def segments_dir(self) -> str:
+        """The directory holding the CRC-framed segment files."""
         return os.path.join(self.root, "segments")
 
     def _segment_paths(self) -> List[str]:
@@ -265,6 +267,11 @@ class ResultStore:
         return os.path.join(self.root, MANIFEST_NAME)
 
     def read_manifest(self) -> Dict[str, Any]:
+        """The advisory manifest, normalised; a valid empty one on damage.
+
+        The manifest is bookkeeping only — the segments directory is the
+        truth — so an unreadable or malformed file is never an error.
+        """
         try:
             with open(self._manifest_path(), "r", encoding="utf-8") as handle:
                 manifest = json.load(handle)
@@ -526,15 +533,26 @@ class ResultStore:
 
     def append_entry(self, key: str, seed: Optional[int],
                      outcome: RunOutcome) -> bool:
+        """Durably append one cache entry (``seed=None`` = deterministic).
+
+        Returns False (store retired read-only, campaign unaffected) when
+        the write layer fails; see :meth:`_append`.
+        """
         return self._append({"kind": "entry", "app": self.app,
                              "digest": self.digest, "key": key,
                              "seed": seed, "outcome": asdict(outcome)})
 
     def put_report(self, report: Mapping[str, Any]) -> bool:
+        """Durably append the finished application report (newest wins)."""
         return self._append({"kind": "report", "app": self.app,
                              "digest": self.digest, "report": dict(report)})
 
     def close(self) -> None:
+        """Release the writer segment (and its flock), if this pid owns it.
+
+        Safe to call repeatedly and from forked children: a child that
+        inherited the handle leaves it alone for the parent to close.
+        """
         with self._lock:
             writer, self._writer = self._writer, None
             owned = self._writer_pid == os.getpid()
@@ -726,6 +744,7 @@ class StoreBackedExecutionCache(ExecutionCache):
 
     def lookup(self, test_name: str, canonical: Any,
                seed: int) -> Optional[Any]:
+        """Memory first, then disk; a disk hit is promoted into memory."""
         key = self._key(test_name, canonical)
         with self._lock:
             outcome = self._deterministic.get(key)
@@ -748,6 +767,8 @@ class StoreBackedExecutionCache(ExecutionCache):
 
     def store(self, test_name: str, canonical: Any, seed: int, outcome: Any,
               seed_sensitive: bool) -> bool:
+        """Cache in memory, and persist iff the cache accepted the entry
+        (so nothing uncacheable — infra outcomes — ever reaches disk)."""
         cached = super().store(test_name, canonical, seed, outcome,
                                seed_sensitive)
         if cached:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
@@ -129,3 +130,59 @@ class TestObservabilityFlags:
         err = capsys.readouterr().err
         assert "[flink] profiles" in err
         assert err.endswith("\n")
+
+
+class TestMachineReadableStoreAndServe:
+    """--json on `repro store` / `repro serve-token` (docs/SERVICE.md)."""
+
+    GOLDEN_STATS_KEYS = {
+        "segments", "bytes", "entries", "deterministic", "seeded",
+        "reports", "corrupt_records", "truncated_tails",
+        "salvaged_records", "substrates"}
+
+    def _seeded_store(self, tmp_path):
+        store = str(tmp_path / "results")
+        assert main(["campaign", "flink", "--store", store]) == 0
+        return store
+
+    def test_store_stats_json_shape(self, capsys, tmp_path):
+        store = self._seeded_store(tmp_path)
+        capsys.readouterr()
+        assert main(["store", "stats", store, "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert set(record) == self.GOLDEN_STATS_KEYS
+        assert record["entries"] > 0 and record["reports"] == 1
+        assert record["substrates"][0]["app"] == "flink"
+
+    def test_store_verify_json_has_ok_flag(self, capsys, tmp_path):
+        store = self._seeded_store(tmp_path)
+        capsys.readouterr()
+        assert main(["store", "verify", store, "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["ok"] is True
+        assert set(record) == self.GOLDEN_STATS_KEYS | {"ok"}
+
+    def test_store_gc_json_shape(self, capsys, tmp_path):
+        store = self._seeded_store(tmp_path)
+        capsys.readouterr()
+        assert main(["store", "gc", store, "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert {"compacted_segments", "kept_segments", "entries",
+                "reports", "dropped_damage"} <= set(record)
+
+    def test_serve_token_matches_golden(self, capsys):
+        golden = os.path.join(os.path.dirname(__file__), "golden",
+                              "serve_token.json")
+        with open(golden) as handle:
+            expected = json.load(handle)["s3cret"]
+        assert main(["serve-token", "--secret", "s3cret"]) == 0
+        assert capsys.readouterr().out.strip() == expected
+        assert main(["serve-token", "--secret", "s3cret", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out) == {"token": expected}
+
+    def test_serve_token_without_secret_is_usage_error(self, capsys,
+                                                       monkeypatch):
+        monkeypatch.delenv("REPRO_SERVE_SECRET", raising=False)
+        monkeypatch.delenv("REPRO_DIST_SECRET", raising=False)
+        assert main(["serve-token"]) == 2
+        assert "no secret" in capsys.readouterr().err

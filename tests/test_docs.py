@@ -1,0 +1,42 @@
+"""Docs/CLI cross-reference checks (tools/check_docs.py) as tier-1.
+
+The CI ``docs-check`` job runs the same checker standalone; running it
+here too means a renamed flag or an undocumented subcommand fails the
+ordinary test suite before the PR ever reaches CI.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+
+import check_docs  # noqa: E402
+
+
+def test_cli_surface_is_nonempty():
+    flags, commands = check_docs.collect_cli_surface()
+    assert "--store" in flags and "--serve-state" in flags
+    assert {"campaign", "serve", "serve-token", "store"} <= commands
+
+
+def test_docs_and_cli_agree():
+    problems = check_docs.check(REPO_ROOT)
+    assert not problems, "\n".join(problems)
+
+
+def test_checker_catches_a_planted_unknown_flag(tmp_path):
+    (tmp_path / "README.md").write_text(
+        "Use `--definitely-not-a-real-flag` for campaign serve "
+        "serve-token store worker audit why corpus evaluate list-apps "
+        "list-params validate-obs.\n")
+    problems = check_docs.check(str(tmp_path))
+    assert any("--definitely-not-a-real-flag" in p for p in problems)
+
+
+def test_checker_requires_the_docs_index(tmp_path):
+    (tmp_path / "README.md").write_text("")
+    problems = check_docs.check(str(tmp_path))
+    assert any("docs/README.md: missing" in p for p in problems)

@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""Docs/CLI cross-reference checker (the CI ``docs-check`` job).
+
+Flags drift: a doc that still names a flag the CLI renamed, or a CLI
+flag the README never documents.  Concretely, it enforces:
+
+1. every ``--flag`` mentioned in README.md or docs/*.md exists in the
+   real parser (``repro.cli.build_parser()``), modulo an allowlist of
+   external tools' flags (pip, pytest) and ``--prefix-*`` family
+   shorthands, which must match at least one real flag;
+2. every flag of every ``repro`` subcommand appears somewhere in
+   README.md (the flag table / subcommand notes);
+3. every ``repro`` subcommand is mentioned in README.md;
+4. every ``docs/NAME.md`` cross-reference points at a file that exists;
+5. ``docs/README.md`` (the index) links every ``docs/*.md`` file.
+
+Run it from the repository root (or pass the root as argv[1])::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Exit status 0 when clean, 1 with one line per problem otherwise.
+tests/test_docs.py runs the same check in tier-1, so drift fails the
+test suite before it ever reaches CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from typing import Dict, List, Set
+
+#: flags that belong to other tools mentioned in the docs (pip, pytest).
+EXTERNAL_FLAGS = {
+    "--no-build-isolation",
+    "--upgrade",
+    "--benchmark-only",
+}
+
+#: ``--flag`` or ``--family-*`` tokens.  The trailing ``[a-z0-9]`` stops
+#: matches at punctuation (``--store's`` -> ``--store``).
+_FLAG_RE = re.compile(r"--[a-z][a-z0-9]*(?:-[a-z0-9]+)*(?:-?\*)?")
+
+#: ``docs/NAME.md`` cross-references.
+_DOCREF_RE = re.compile(r"docs/[A-Za-z0-9_.-]+\.md")
+
+
+def collect_cli_surface() -> "tuple[Set[str], Set[str]]":
+    """(all --flags, all subcommand names) from the real parser."""
+    from repro.cli import build_parser
+    parser = build_parser()
+    flags: Set[str] = set()
+    commands: Set[str] = set()
+
+    def walk(p: argparse.ArgumentParser) -> None:
+        for action in p._actions:  # noqa: SLF001 - argparse has no API
+            flags.update(s for s in action.option_strings
+                         if s.startswith("--"))
+            if isinstance(action, argparse._SubParsersAction):
+                for name, child in action.choices.items():
+                    commands.add(name)
+                    walk(child)
+
+    walk(parser)
+    return flags, commands
+
+
+def doc_files(root: str) -> List[str]:
+    paths = [os.path.join(root, "README.md")]
+    docs_dir = os.path.join(root, "docs")
+    if os.path.isdir(docs_dir):
+        for name in sorted(os.listdir(docs_dir)):
+            if name.endswith(".md"):
+                paths.append(os.path.join(docs_dir, name))
+    return [p for p in paths if os.path.isfile(p)]
+
+
+def check(root: str) -> List[str]:
+    """Run every cross-reference check; return a list of problems."""
+    problems: List[str] = []
+    known_flags, commands = collect_cli_surface()
+    files = doc_files(root)
+    readme_text = ""
+    flag_mentions: Dict[str, Set[str]] = {}
+
+    for path in files:
+        rel = os.path.relpath(path, root)
+        with open(path) as handle:
+            text = handle.read()
+        if rel == "README.md":
+            readme_text = text
+        for lineno, line in enumerate(text.splitlines(), 1):
+            for token in _FLAG_RE.findall(line):
+                flag_mentions.setdefault(token, set()).add(rel)
+                if token in EXTERNAL_FLAGS:
+                    continue
+                if token.endswith("*"):
+                    prefix = token.rstrip("*").rstrip("-")
+                    if not any(f.startswith(prefix + "-")
+                               for f in known_flags):
+                        problems.append(
+                            "%s:%d: flag family %s matches no CLI flag"
+                            % (rel, lineno, token))
+                elif token not in known_flags:
+                    problems.append(
+                        "%s:%d: %s is not a flag of any repro subcommand"
+                        % (rel, lineno, token))
+        for ref in _DOCREF_RE.findall(text):
+            if not os.path.isfile(os.path.join(root, ref)):
+                problems.append("%s: broken cross-reference %s"
+                                % (rel, ref))
+
+    # README must document every CLI flag and subcommand.
+    for flag in sorted(known_flags):
+        if flag == "--help":
+            continue
+        if flag not in readme_text:
+            problems.append("README.md: CLI flag %s is undocumented"
+                            % flag)
+    for command in sorted(commands):
+        if not re.search(r"\b%s\b" % re.escape(command), readme_text):
+            problems.append("README.md: subcommand %r is undocumented"
+                            % command)
+
+    # the docs index must link every doc.
+    index_path = os.path.join(root, "docs", "README.md")
+    if not os.path.isfile(index_path):
+        problems.append("docs/README.md: missing (the docs index)")
+    else:
+        with open(index_path) as handle:
+            index_text = handle.read()
+        for path in files:
+            rel = os.path.relpath(path, root)
+            name = os.path.basename(path)
+            if not rel.startswith("docs") or name == "README.md":
+                continue
+            if name not in index_text:
+                problems.append("docs/README.md: %s is not in the index"
+                                % rel)
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    root = argv[1] if len(argv) > 1 else os.getcwd()
+    problems = check(root)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print("docs-check: %d problem(s)" % len(problems), file=sys.stderr)
+        return 1
+    print("docs-check: OK (%d files, every flag accounted for)"
+          % len(doc_files(root)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
