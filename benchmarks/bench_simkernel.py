@@ -98,6 +98,24 @@ def wire_encode(frames: int) -> int:
     return total
 
 
+def wire_encode_large(frames: int) -> int:
+    """Large repeated frames: the digest-keyed encode memo's home turf.
+
+    A block manifest is kilobytes of JSON; with the memo keyed by a
+    16-byte content digest instead of the full canonical text, thousands
+    of distinct large frames fit in the memo without pinning their key
+    strings, and repeated sends skip the compress+encrypt stack.
+    """
+    payload = {"method": "blockReport", "node": "dn-0",
+               "blocks": [{"id": i, "gen": i % 7, "len": 134217728}
+                          for i in range(256)]}
+    total = 0
+    for _ in range(frames):
+        total += len(encode_payload(payload, codec="gzip",
+                                    encryption_key=b"sasl-privacy-wrap"))
+    return total
+
+
 def conf_get(lookups: int) -> int:
     """Registry-backed ``Configuration.get`` outside any agent scope.
 
@@ -178,6 +196,11 @@ def measure() -> dict:
                            "wall_fast_s": fast,
                            "speedup": legacy / fast}
 
+    _, legacy, fast = _ab(wire_encode_large, 2000)
+    rows["wire_encode_large"] = {"frames": 2000, "wall_legacy_s": legacy,
+                                 "wall_fast_s": fast,
+                                 "speedup": legacy / fast}
+
     # Trajectory row (no >1.0 assertion, no baseline: the win is a single
     # Python frame per lookup and too small to gate CI on).
     _, legacy, fast = _ab(conf_get, 200000)
@@ -212,6 +235,7 @@ def test_simkernel_fast_path(benchmark):
     assert rows["cancel_heavy"]["speedup"] > 1.0
     assert rows["pending_scan"]["speedup"] > 1.0
     assert rows["wire_encode"]["speedup"] > 1.0
+    assert rows["wire_encode_large"]["speedup"] > 1.0
 
     # The conf-get fast path must be behaviour-preserving: a campaign run
     # with FAST_PATH off and on reports byte-identical findings.

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.apps.flink import FlinkConfiguration, MiniFlinkCluster
 from repro.common.errors import TestFailure
+from repro.common.rngblock import randrange_block
 from repro.core.registry import TestContext, unit_test
 
 
@@ -29,7 +30,7 @@ def test_partition_transfer(ctx: TestContext) -> None:
     conf = FlinkConfiguration()
     with MiniFlinkCluster(conf, num_taskmanagers=2) as cluster:
         cluster.start()
-        records = [ctx.rng.randrange(1000) for _ in range(50)]
+        records = randrange_block(ctx.rng, 1000, 50)
         sender, receiver = cluster.taskmanagers
         sender.send_partition(receiver, records)
         if receiver.received_partitions != [records]:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.apps.flink import FlinkConfiguration, MiniFlinkCluster
 from repro.common.errors import SlotAllocationError, TestFailure
+from repro.common.rngblock import randrange_block
 from repro.core.registry import TestContext, unit_test
 
 
@@ -37,7 +38,8 @@ def test_distributed_wordcount(ctx: TestContext) -> None:
     conf = FlinkConfiguration()
     with MiniFlinkCluster(conf, num_taskmanagers=2) as cluster:
         cluster.start()
-        words = ["term%02d" % ctx.rng.randrange(30) for _ in range(200)]
+        words = ["term%02d" % draw
+                 for draw in randrange_block(ctx.rng, 30, 200)]
         lines = [" ".join(words[i:i + 8]) for i in range(0, len(words), 8)]
         parallelism = conf.get_int("taskmanager.numberOfTaskSlots") * 2
         counts = run_distributed_wordcount(cluster, lines, parallelism)

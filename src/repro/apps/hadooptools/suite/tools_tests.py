@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.apps.hadooptools import DistCp, HadoopArchive
 from repro.apps.hdfs import DFSClient, HdfsConfiguration, MiniDFSCluster
 from repro.common.errors import TestFailure
+from repro.common.rngblock import randrange_block
 from repro.core.registry import TestContext, unit_test
 
 
@@ -43,8 +44,7 @@ def test_hadoop_archive_round_trip(ctx: TestContext) -> None:
         payloads = {}
         for index in range(4):
             name = "file%02d" % index
-            payloads[name] = bytes(ctx.rng.randrange(256)
-                                   for _ in range(256 + index))
+            payloads[name] = bytes(randrange_block(ctx.rng, 256, 256 + index))
             dfs.write_file("/har/in/%s" % name, payloads[name], replication=1)
         tool = HadoopArchive(conf, cluster)
         index_map = tool.archive("/har/in", "/har/out.har")

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.apps.hbase import HBaseConfiguration, MiniHBaseCluster, ThriftAdmin
 from repro.common.errors import TestFailure
+from repro.common.rngblock import randrange_block
 from repro.core.registry import TestContext, unit_test
 
 
@@ -52,8 +53,8 @@ def test_thrift_many_round_trips(ctx: TestContext) -> None:
         cluster.start()
         cluster.master.create_table("bulk")
         admin = ThriftAdmin(conf, cluster)
-        rows = {"row%02d" % i: "value%02d" % ctx.rng.randrange(100)
-                for i in range(10)}
+        rows = {"row%02d" % i: "value%02d" % draw
+                for i, draw in enumerate(randrange_block(ctx.rng, 100, 10))}
         for row, value in rows.items():
             admin.put("bulk", row, value)
         for row, value in rows.items():

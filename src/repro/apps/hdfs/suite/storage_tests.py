@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from repro.apps.hdfs import DFSClient, HdfsConfiguration, MiniDFSCluster
 from repro.common.errors import TestFailure
+from repro.common.rngblock import randrange_block
 from repro.core.registry import TestContext, unit_test
 
 
@@ -19,7 +20,7 @@ def test_write_read_round_trip(ctx: TestContext) -> None:
     with MiniDFSCluster(conf, num_datanodes=2) as cluster:
         cluster.start()
         client = DFSClient(conf, cluster)
-        payload = bytes(ctx.rng.randrange(256) for _ in range(2048))
+        payload = bytes(randrange_block(ctx.rng, 256, 2048))
         client.write_file("/user/test/roundtrip", payload, replication=1)
         read_back = client.read_file("/user/test/roundtrip")
         if read_back != payload:
@@ -72,7 +73,7 @@ def test_encrypted_transfer(ctx: TestContext) -> None:
     with MiniDFSCluster(conf, num_datanodes=2) as cluster:
         cluster.start()
         client = DFSClient(conf, cluster)
-        payload = bytes(ctx.rng.randrange(256) for _ in range(4096))
+        payload = bytes(randrange_block(ctx.rng, 256, 4096))
         client.write_file("/secure/data", payload, replication=2)
         if client.read_file("/secure/data") != payload:
             raise TestFailure("decrypted read-back differs")

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.apps.mapreduce import JobConf, JobRunner, MiniMRCluster
 from repro.common.errors import TestFailure
+from repro.common.rngblock import randrange_block
 from repro.core.registry import TestContext, unit_test
 
 
@@ -12,7 +13,7 @@ def test_wide_job_round_trip(ctx: TestContext) -> None:
     """A wider word count: random input, many distinct keys, all part
     files merged back and compared against a locally computed answer."""
     conf = JobConf()
-    words = ["key%03d" % ctx.rng.randrange(120) for _ in range(600)]
+    words = ["key%03d" % draw for draw in randrange_block(ctx.rng, 120, 600)]
     lines = [" ".join(words[i:i + 12]) for i in range(0, len(words), 12)]
     expected: dict = {}
     for word in words:

@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.apps.mapreduce import JobConf, JobRunner, MiniMRCluster
 from repro.apps.mapreduce.tasks import _partition
 from repro.common.errors import TestFailure
+from repro.common.rngblock import randrange_block
 from repro.core.registry import TestContext, unit_test
 
 
@@ -14,7 +15,7 @@ def test_shuffle_round_trip(ctx: TestContext) -> None:
     """Random input through the full shuffle path — compression,
     encryption, and SSL framing all cross the mapper/reducer boundary."""
     conf = JobConf()
-    words = ["w%02d" % ctx.rng.randrange(40) for _ in range(300)]
+    words = ["w%02d" % draw for draw in randrange_block(ctx.rng, 40, 300)]
     lines = [" ".join(words[i:i + 10]) for i in range(0, len(words), 10)]
     expected: dict = {}
     for word in words:

@@ -245,6 +245,26 @@ def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
                              "reports to DIR so a second campaign starts "
                              "warm; findings are byte-identical warm or "
                              "cold (docs/STORE.md)")
+    parser.add_argument("--incremental", action="store_true",
+                        help="plan against the --store before running: "
+                             "profiles whose parameters and settings are "
+                             "unchanged since their stored run are folded "
+                             "back with zero fresh executions; changed or "
+                             "new profiles run fresh (docs/PLANNING.md)")
+    from repro.core.plan import SAMPLE_MODES
+    parser.add_argument("--sample", choices=SAMPLE_MODES, default=None,
+                        help="test a deterministic, seeded subset of each "
+                             "profile's hetero-assignments instead of the "
+                             "exhaustive enumeration: pairwise coverage, "
+                             "random-k, or greedy dissimilarity "
+                             "(docs/PLANNING.md)")
+    parser.add_argument("--sample-k", type=int, default=None, metavar="N",
+                        help="cell budget per (test, group) for --sample "
+                             "random-k/dissimilarity (default: the pairwise "
+                             "budget, for equal-cost comparisons)")
+    parser.add_argument("--sample-seed", type=int, default=0, metavar="SEED",
+                        help="seed for the --sample subset (same seed = "
+                             "identical subset on every backend, default 0)")
     parser.add_argument("--audit", action="store_true",
                         help="run the registry wiring audit after the "
                              "campaign (UNREAD / READ_BUT_INERT verdicts, "
@@ -507,6 +527,10 @@ def _config(args: argparse.Namespace) -> CampaignConfig:
                             infra_retries=args.infra_retries,
                             exec_cache=args.exec_cache,
                             store_path=args.store,
+                            incremental=args.incremental,
+                            sample=args.sample,
+                            sample_k=args.sample_k,
+                            sample_seed=args.sample_seed,
                             disk_fault_plan=_disk_fault_plan(args),
                             dist_secret=args.dist_secret,
                             audit=args.audit,
@@ -858,6 +882,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                           log=sys.stderr)
 
     if args.command == "campaign":
+        if args.incremental and not args.store:
+            print("error: --incremental requires --store (the plan is a "
+                  "diff against stored profile records)", file=sys.stderr)
+            return 2
         spec = catalog.spec_for(args.app)
         config = _config(args)
         started = time.time()
@@ -895,6 +923,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.compare:
             print("--compare works with per-application baselines; use "
                   "`repro campaign <app> --compare ...`", file=sys.stderr)
+            return 2
+        if args.incremental and not args.store:
+            print("error: --incremental requires --store (the plan is a "
+                  "diff against stored profile records)", file=sys.stderr)
             return 2
         config = _config(args)
         started = time.time()

@@ -20,6 +20,8 @@ algorithm fails verification on honest data.
 
 from __future__ import annotations
 
+import hashlib
+import itertools
 import json
 import zlib
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -63,9 +65,29 @@ def _xor_stream(data: bytes, key: bytes) -> bytes:
 # are not cached: their encode is a single concatenation and their decode
 # must re-parse anyway (callers may mutate the returned object, so JSON
 # parsing is always fresh — only the layer unwrapping is memoised).
-_ENCODE_MEMO: Dict[Tuple[str, Optional[str], Optional[bytes], bool], bytes] = {}
+#
+# The encode memo is keyed by a 16-byte digest of the canonical JSON text
+# rather than the text itself: large repeated frames (block manifests,
+# batched edits) no longer pin megabytes of key strings, so far more of
+# them fit under _WIRE_MEMO_MAX before eviction kicks in.
+_ENCODE_MEMO: Dict[Tuple[bytes, Optional[str], Optional[bytes], bool], bytes] = {}
 _DECODE_MEMO: Dict[Tuple[bytes, Optional[str], Optional[bytes], bool], bytes] = {}
 _WIRE_MEMO_MAX = 2048
+
+
+def _payload_digest(raw: bytes) -> bytes:
+    """16-byte content digest of the canonical payload text."""
+    return hashlib.blake2b(raw, digest_size=16).digest()
+
+
+def _evict_half(memo: Dict[Any, bytes]) -> None:
+    """Drop the oldest half of a memo (dict preserves insertion order).
+
+    Recently-inserted hot frames survive, unlike a full clear() which
+    throws away every hot entry at once and restarts the cache cold.
+    """
+    for key in list(itertools.islice(iter(memo), len(memo) // 2 or 1)):
+        del memo[key]
 
 
 def clear_wire_memo() -> None:
@@ -78,14 +100,15 @@ def encode_payload(payload: Any, *, codec: Optional[str] = None,
                    encryption_key: Optional[bytes] = None,
                    ssl: bool = False) -> bytes:
     """Serialize ``payload`` with the sender's format settings."""
-    text = json.dumps(payload, sort_keys=True)
+    raw = json.dumps(payload, sort_keys=True).encode("utf-8")
     layered = codec is not None or encryption_key is not None or ssl
+    key = None
     if layered and perf.FAST_PATH:
-        key = (text, codec, encryption_key, ssl)
+        key = (_payload_digest(raw), codec, encryption_key, ssl)
         cached = _ENCODE_MEMO.get(key)
         if cached is not None:
             return cached
-    data = _PLAIN_MAGIC + text.encode("utf-8")
+    data = _PLAIN_MAGIC + raw
     if codec is not None:
         magic, compress = _codec(codec)
         data = magic + compress(data)
@@ -93,10 +116,10 @@ def encode_payload(payload: Any, *, codec: Optional[str] = None,
         data = _xor_stream(data, encryption_key)
     if ssl:
         data = _SSL_MAGIC + _xor_stream(data, b"\x5c")
-    if layered and perf.FAST_PATH:
+    if key is not None:
         if len(_ENCODE_MEMO) >= _WIRE_MEMO_MAX:
-            _ENCODE_MEMO.clear()
-        _ENCODE_MEMO[(text, codec, encryption_key, ssl)] = data
+            _evict_half(_ENCODE_MEMO)
+        _ENCODE_MEMO[key] = data
     return data
 
 
@@ -116,7 +139,7 @@ def decode_payload(data: bytes, *, codec: Optional[str] = None,
             return _parse_plain(plain)
         plain = _unwrap_layers(data, codec, encryption_key, ssl)
         if len(_DECODE_MEMO) >= _WIRE_MEMO_MAX:
-            _DECODE_MEMO.clear()
+            _evict_half(_DECODE_MEMO)
         _DECODE_MEMO[key] = plain
         return _parse_plain(plain)
     return _parse_plain(_unwrap_layers(data, codec, encryption_key, ssl))

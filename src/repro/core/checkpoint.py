@@ -5,11 +5,16 @@ used to mean starting over.  :class:`CampaignCheckpoint` journals results
 to an append-only JSON Lines file as they are produced, and a restarted
 campaign pointed at the same file skips everything already finished.
 
-Three record kinds appear in a journal:
+Four record kinds appear in a journal:
 
 * ``header``    — one per (app, campaign start): the settings that shape
   results.  A resume whose settings disagree with the journal would
   silently mix incompatible verdicts, so it is refused instead.
+* ``plan``      — the incremental campaign plan (repro.core.plan) frozen
+  at first run.  A resumed ``--incremental`` campaign replays this plan
+  instead of replanning: the interrupted run already appended fresh
+  profile records to the store, so replanning would silently reclassify
+  its RERUN/NEW work as REUSE and change the journaled plan summary.
 * ``instance``  — streamed as each singleton :class:`InstanceResult`
   completes.  Pure audit trail: it shows how far an interrupted test got,
   but partially-journaled tests are re-run in full on resume.
@@ -153,6 +158,8 @@ class CampaignCheckpoint:
         self._done: Dict[str, Dict[str, Any]] = {}
         #: app -> journaled ``header`` record.
         self._headers: Dict[str, Dict[str, Any]] = {}
+        #: app -> journaled ``plan`` payload (repro.core.plan dict).
+        self._plans: Dict[str, Dict[str, Any]] = {}
         #: tests that have streamed ``instance`` lines but no test-done.
         self.partial_tests: Dict[str, int] = {}
 
@@ -161,6 +168,7 @@ class CampaignCheckpoint:
         """Read the journal; returns the number of finished tests found."""
         self._done.clear()
         self._headers.clear()
+        self._plans.clear()
         self.partial_tests.clear()
         if not os.path.exists(self.path):
             return 0
@@ -183,6 +191,8 @@ class CampaignCheckpoint:
                 kind = record.get("kind")
                 if kind == "header":
                     self._headers[record["app"]] = record
+                elif kind == "plan":
+                    self._plans[record["app"]] = record.get("plan", {})
                 elif kind == "instance":
                     name = record["test"]
                     if name not in self._done:
@@ -215,6 +225,18 @@ class CampaignCheckpoint:
 
     def has_test(self, test_name: str) -> bool:
         return test_name in self._done
+
+    def plan_record(self, app: str) -> Optional[Dict[str, Any]]:
+        """The journaled incremental plan for ``app`` (None = not planned
+        yet, or the journal predates planning)."""
+        return self._plans.get(app)
+
+    def record_plan(self, app: str, plan: Mapping[str, Any]) -> None:
+        """Freeze the incremental plan into the journal (first run only;
+        resumes replay it via :meth:`plan_record`)."""
+        payload = json.loads(json.dumps(dict(plan)))
+        self._append({"kind": "plan", "app": app, "plan": payload})
+        self._plans[app] = payload
 
     @property
     def finished_tests(self) -> List[str]:

@@ -44,6 +44,7 @@ import os
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.core.plan import PLAN_REUSE, sample_cells
 from repro.core.prerun import TestProfile
 
 #: Percent of pooled parameters priced as heterogeneous-unsafe up front.
@@ -191,10 +192,22 @@ class CostModel:
         config = campaign.config
         generator = campaign.generator
         registry = campaign.registry
+        plan = getattr(campaign, "_plan", None)
+        if plan is not None and plan.decision(name) == PLAN_REUSE:
+            # A planned-out profile burns zero fresh executions: it is
+            # folded from the store.  Pricing it at zero keeps LPT (and
+            # the zc_sched_* prediction accounting) honest.
+            prediction = ProfilePrediction(
+                test=name, pool_runs=0, units=0, predicted_executions=0,
+                predicted_cache_hits=0, weight_s=0.0)
+            self._predictions[name] = prediction
+            return prediction
         pool_runs = 0
         units = 0
         # Mirror of Campaign._profile_body's enumeration, counting
-        # instead of running.
+        # instead of running — including the sampling subset, which must
+        # prune the exact same (strategy, layer, param) cells here that
+        # the body skips.
         for group in sorted(profile.groups):
             group_size = profile.groups[group]
             params = sorted(name_ for name_ in profile.testable_params(group)
@@ -202,16 +215,24 @@ class CostModel:
                             and config.param_allowed(name_))
             if not params:
                 continue
-            pair_counts = [len(generator.value_pairs(registry.get(name_)))
-                           for name_ in params]
-            layers = max(pair_counts, default=0)
-            strategies = len(generator.strategies_for_group(group_size))
-            for layer in range(layers):
-                layer_units = sum(1 for count in pair_counts
-                                  if layer < count)
-                if layer_units:
-                    pool_runs += strategies
-                    units += layer_units * strategies
+            pair_counts = {name_: len(generator.value_pairs(
+                               registry.get(name_)))
+                           for name_ in params}
+            layers = max(pair_counts.values(), default=0)
+            strategies = list(generator.strategies_for_group(group_size))
+            kept = sample_cells(config.sample, config.sample_seed,
+                                config.sample_k, name, group, strategies,
+                                pair_counts)
+            for strategy in strategies:
+                for layer in range(layers):
+                    layer_units = sum(
+                        1 for name_ in params
+                        if layer < pair_counts[name_]
+                        and (kept is None
+                             or (strategy, layer, name_) in kept))
+                    if layer_units:
+                        pool_runs += 1
+                        units += layer_units
         surcharge = (units * UNSAFE_PRIOR_PCT * SINGLETON_COST) // 100
         predicted = pool_runs + surcharge
         hits = (surcharge * CACHE_HIT_PCT) // 100 if config.exec_cache else 0

@@ -83,7 +83,8 @@ FAULT_KEYS = {
 #: campaign-spec schema: key -> (default, type tag).  Type tags: "bool",
 #: "int", "float?" (optional float), "int?" (optional int), "str?"
 #: (optional string), "params" (optional list of parameter names),
-#: "faults" (mapping of FAULT_KEYS to probabilities), "choice:..." .
+#: "faults" (mapping of FAULT_KEYS to probabilities), "choice:..." and
+#: "choice?:..." (nullable choice).
 #: Kept flat and explicit so docs/SERVICE.md can state it verbatim.
 SPEC_SCHEMA: Dict[str, Tuple[Any, str]] = {
     "app": (None, "app"),
@@ -93,6 +94,10 @@ SPEC_SCHEMA: Dict[str, Tuple[Any, str]] = {
     "schedule": ("lpt", "choice:lpt,catalog"),
     "exec_cache": (False, "bool"),
     "store": (True, "bool"),
+    "incremental": (False, "bool"),
+    "sample": (None, "choice?:pairwise,random-k,dissimilarity"),
+    "sample_k": (None, "int?"),
+    "sample_seed": (0, "int"),
     "audit": (False, "bool"),
     "supervise": (True, "bool"),
     "pool_size": (None, "int?"),
@@ -172,12 +177,20 @@ def canonical_spec(spec: Any) -> Dict[str, Any]:
                         raise JobSpecError("faults.%s must be a number"
                                            % name)
                 value = {k: float(v) for k, v in sorted(value.items())}
+        elif kind.startswith("choice?:"):
+            choices = kind.split(":", 1)[1].split(",")
+            if value is not None and value not in choices:
+                raise JobSpecError("%s must be null or one of %s"
+                                   % (key, ", ".join(choices)))
         elif kind.startswith("choice:"):
             choices = kind.split(":", 1)[1].split(",")
             if value not in choices:
                 raise JobSpecError("%s must be one of %s"
                                    % (key, ", ".join(choices)))
         out[key] = value
+    if out["incremental"] and not out["store"]:
+        raise JobSpecError("incremental requires store: true (the plan is "
+                           "a diff against stored profile records)")
     return out
 
 
@@ -487,6 +500,10 @@ class JobQueue:
             schedule=spec["schedule"],
             exec_cache=spec["exec_cache"],
             store_path=self.store_path if spec["store"] else None,
+            incremental=spec["incremental"],
+            sample=spec["sample"],
+            sample_k=spec["sample_k"],
+            sample_seed=spec["sample_seed"],
             audit=spec["audit"],
             supervise=spec["supervise"],
             max_pool_size=spec["pool_size"],

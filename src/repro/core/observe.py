@@ -296,6 +296,18 @@ METRIC_CATALOG: Dict[str, MetricSpec] = {
     "zc_store_entries_loaded": MetricSpec(
         "gauge", "Entries served from disk for this campaign's "
         "substrate at open.", volatile=True),
+    # Incremental-plan counters (repro.core.plan) are volatile by
+    # construction: the classification depends on what earlier campaigns
+    # left in the store, not on what this one finds.
+    "zc_plan_profiles_total": MetricSpec(
+        "counter", "Profiles classified by the incremental planner, by "
+        "decision (reuse/rerun/new).", volatile=True),
+    "zc_plan_demoted_profiles_total": MetricSpec(
+        "counter", "REUSE candidates demoted to RERUN by the blacklist-"
+        "coupling closure.", volatile=True),
+    "zc_plan_executions_saved_total": MetricSpec(
+        "counter", "Stored executions the plan's REUSE folds avoided "
+        "re-burning.", volatile=True),
 }
 
 

@@ -18,10 +18,14 @@ from repro.common.node import NODE_TYPES
 from repro.common.params import ParamRegistry
 from repro.common.simulation import kernel_stats_snapshot
 from repro.core.confagent import UNIT_TEST
-from repro.core.checkpoint import CampaignCheckpoint
+from repro.core.checkpoint import (CampaignCheckpoint, result_from_dict,
+                                   result_to_dict)
 from repro.core.costmodel import CostModel
 from repro.core.execcache import ExecutionCache
 from repro.core.observe import MetricsRegistry, Observation, ProgressReporter
+from repro.core.plan import (PLAN_DECISIONS, PLAN_REUSE, SAMPLE_MODES,
+                             CampaignPlan, build_plan, profile_key,
+                             sample_cells)
 from repro.core.pooling import FrequentFailureTracker, PooledTester, PoolStats
 from repro.core.prerun import PreRunSummary, TestProfile, prerun_corpus
 from repro.core.registry import CORPUS, Corpus, UnitTest
@@ -142,6 +146,23 @@ class CampaignConfig:
     #: (repro.common.faults.DiskFaultPlan; None = clean disk).  Exercises
     #: the store's salvage/degradation paths, never the simulated app.
     disk_fault_plan: Optional[Any] = None
+    #: plan the campaign against the store before running (requires
+    #: store_path): profiles whose parameter substrate and settings are
+    #: unchanged since a stored run are folded back with zero fresh
+    #: executions; the rest rerun.  Findings are byte-identical to a
+    #: full cold campaign (see repro.core.plan / docs/PLANNING.md).
+    incremental: bool = False
+    #: configuration-sampling strategy for test generation (None =
+    #: exhaustive): "pairwise", "random-k" or "dissimilarity" keep a
+    #: deterministic, seeded subset of hetero cells per profile, trading
+    #: findings recall for executions (bench: BENCH_sampling.json).
+    sample: Optional[str] = None
+    #: sampling budget per (test, group) for random-k/dissimilarity
+    #: (None = the pairwise budget: one cell per value-pair layer).
+    sample_k: Optional[int] = None
+    #: seed for the sampling draw (part of the checkpoint header, so a
+    #: resume cannot silently sample a different subset).
+    sample_seed: int = 0
     #: shared secret for the distributed transport's HMAC challenge-
     #: response handshake (None = unauthenticated).  Deliberately NOT
     #: part of checkpoint_settings(): secrets must never be journaled.
@@ -261,6 +282,13 @@ class CampaignConfig:
             # produced under a specific store mode.  Only presence is
             # recorded — the path itself may move between hosts.
             "store": bool(self.store_path),
+            # Plan settings: a resume that flipped incremental mode or
+            # sampled a different subset would journal outcomes produced
+            # under a different work selection — refuse instead.
+            "incremental": self.incremental,
+            "sample": self.sample,
+            "sample_k": self.sample_k,
+            "sample_seed": self.sample_seed,
         }
 
 
@@ -313,6 +341,10 @@ class Campaign:
         #: per-run scheduler cost model (rebuilt in _run_inner once the
         #: pre-run profiles exist).
         self.cost_model = CostModel(self)
+        #: per-run incremental plan (repro.core.plan.CampaignPlan; built
+        #: in _run_inner when config.incremental, else None).  The cost
+        #: model reads it to price REUSE profiles at zero.
+        self._plan: Optional[CampaignPlan] = None
         #: supervised-pool counters for the current run (reset in _run;
         #: filled by repro.core.supervise when the supervisor is used).
         self.supervision = SupervisionStats()
@@ -387,18 +419,24 @@ class Campaign:
             profiles = prerun_corpus(self.tests)
         usable = [p for p in profiles if p.usable]
         stage_counts = self._stage_counts(profiles, usable)
+        if self.config.sample is not None \
+                and self.config.sample not in SAMPLE_MODES:
+            raise ValueError("unknown sampling mode %r (expected one of %s)"
+                             % (self.config.sample, ", ".join(SAMPLE_MODES)))
         checkpoint = self._open_checkpoint()
         self._cache = self._build_cache()
         # Built once per run: checkpoint restore and the process backend
         # both need it, and rebuilding it per restored profile made large
         # resumes quadratic.
         tests_by_name = {t.full_name: t for t in self.tests}
+        self._plan = self._build_plan(usable, checkpoint)
 
         # Partition tests into already-journaled (restore + replay their
-        # blacklist effects) and still-pending (run for real).  Outcomes
-        # are assembled keyed by test and folded back in the original
-        # profile order so a resumed campaign reproduces the interrupted
-        # one bit for bit.
+        # blacklist effects), plan-REUSE (fold from the store, journal as
+        # done, replay blacklist effects — zero fresh executions) and
+        # still-pending (run for real).  Outcomes are assembled keyed by
+        # test and folded back in the original profile order so a resumed
+        # campaign reproduces the interrupted one bit for bit.
         outcome_by_test: Dict[str, ProfileOutcome] = {}
         pending: List[TestProfile] = []
         if self._progress is not None:
@@ -410,8 +448,16 @@ class Campaign:
                                                 tests_by_name)
                 outcome_by_test[name] = outcome
                 self._profile_committed(outcome, restored=True)
-            else:
-                pending.append(profile)
+                continue
+            if self._plan is not None \
+                    and self._plan.decision(name) == PLAN_REUSE:
+                outcome = self._fold_planned_profile(profile, checkpoint,
+                                                     tests_by_name)
+                if outcome is not None:
+                    outcome_by_test[name] = outcome
+                    self._profile_committed(outcome, reused=True)
+                    continue
+            pending.append(profile)
 
         backend = self.config.parallel_backend
         if backend not in ("thread", "process"):
@@ -452,6 +498,7 @@ class Campaign:
                 fresh.append(outcome)
         for profile, outcome in zip(pending, fresh):
             outcome_by_test[profile.test.full_name] = outcome
+        self._persist_profile_records(usable, outcome_by_test)
 
         results: List[InstanceResult] = []
         pool_stats = PoolStats()
@@ -527,6 +574,7 @@ class Campaign:
             store=(None if self._store is None
                    else replace(self._store.stats)),
             cost_centers=cost_centers,
+            plan=self._plan,
             observation=self.observation)
         if self._store is not None:
             # the finished report is itself a store record, so a later
@@ -660,6 +708,139 @@ class Campaign:
                               fault_counts=fault_counts, retries=retries,
                               error=error, error_kind=error_kind)
 
+    # ------------------------------------------------------------------
+    # incremental planning (--incremental) and store profile records
+    # ------------------------------------------------------------------
+    def _build_plan(self, usable: List[TestProfile],
+                    checkpoint: Optional[CampaignCheckpoint]
+                    ) -> Optional[CampaignPlan]:
+        """Build (or replay) the incremental campaign plan.
+
+        A resumed campaign replays the journaled plan rather than
+        replanning: the interrupted run already appended fresh profile
+        records to the store, so a replan would silently reclassify its
+        RERUN/NEW work as REUSE and change the reported plan summary.
+        """
+        if not self.config.incremental:
+            return None
+        store = self._open_store()
+        if store is None:
+            raise ValueError("incremental planning requires a result store "
+                             "(set store_path / --store)")
+        if checkpoint is not None:
+            journaled = checkpoint.plan_record(self.app)
+            if journaled is not None:
+                plan = CampaignPlan.from_dict(journaled)
+                trace = self.config.trace
+                if trace is not None:
+                    trace.emit("plan-replayed", app=self.app,
+                               reused=plan.count(PLAN_REUSE),
+                               demoted=plan.demoted)
+                return plan
+        plan = build_plan(self, usable, store)
+        if checkpoint is not None:
+            checkpoint.record_plan(self.app, plan.to_dict())
+        trace = self.config.trace
+        if trace is not None:
+            trace.emit("plan-built", app=self.app,
+                       reused=plan.count(PLAN_REUSE),
+                       demoted=plan.demoted,
+                       executions_saved=plan.executions_saved)
+        return plan
+
+    def _fold_planned_profile(self, profile: TestProfile,
+                              checkpoint: Optional[CampaignCheckpoint],
+                              tests_by_name: Mapping[str, UnitTest]
+                              ) -> Optional[ProfileOutcome]:
+        """Fold one plan-REUSE profile from its stored record.
+
+        Returns None when the stored record has vanished since planning
+        (store GC raced, disk fault ate the segment) — the caller then
+        runs the profile for real, which is always correct, just slower.
+        Mirrors :meth:`_restore_profile`: blacklist confirmations replay
+        exactly as they did in the stored run, and the fold is journaled
+        as a finished test so a crash + resume restores it identically.
+        """
+        name = profile.test.full_name
+        stored = self._store.lookup_profile(self._plan.plan_for(name).key)
+        if stored is None:
+            return None
+        record = stored["record"]
+        try:
+            results = [result_from_dict(r, tests_by_name)
+                       for r in record["results"]]
+            stats = PoolStats(**record["pool_stats"])
+        except (KeyError, TypeError, ValueError):
+            # damaged or schema-drifted record: fall back to running.
+            return None
+        for result in results:
+            if result.verdict == CONFIRMED_UNSAFE:
+                for param in result.instance.params:
+                    self.tracker.record_unsafe(param, name)
+        fault_counts = {str(k): int(v)
+                        for k, v in record.get("fault_counts", {}).items()}
+        retries = int(record.get("retries", 0))
+        # Zero fresh executions: the whole point of the plan.  The stored
+        # pool statistics are preserved so the findings projection is
+        # byte-identical to the campaign that produced them.
+        outcome = ProfileOutcome(results=results, stats=stats, executions=0,
+                                 fault_counts=fault_counts, retries=retries)
+        if checkpoint is not None:
+            checkpoint.record_test_done(name, results, stats, 0,
+                                        fault_counts=fault_counts,
+                                        retries=retries)
+        trace = self.config.trace
+        if trace is not None:
+            trace.emit("plan-reuse", app=self.app, test=name,
+                       instances=len(results),
+                       executions_saved=int(record.get("executions", 0)))
+        return outcome
+
+    def _persist_profile_records(self, profiles: Sequence[TestProfile],
+                                 outcome_by_test: Mapping[str,
+                                                          "ProfileOutcome"]
+                                 ) -> None:
+        """Append per-profile result records to the store.
+
+        Runs on *every* stored campaign (not just ``--incremental``) so a
+        plain ``--store`` run seeds the profiles a later incremental run
+        reuses.  Checkpoint-restored profiles are included — a resumed
+        campaign must leave the store exactly as warm as an uninterrupted
+        one.  Only clean outcomes are recorded (degraded or quarantined
+        profiles must be re-run, never reused), and REUSE folds are
+        skipped: their authoritative record — with the *original*
+        execution count the planner prices — is already durable.
+        """
+        if self._store is None:
+            return
+        for profile in profiles:
+            name = profile.test.full_name
+            if self._plan is not None \
+                    and self._plan.decision(name) == PLAN_REUSE:
+                continue
+            outcome = outcome_by_test.get(name)
+            if outcome is None or outcome.error:
+                continue
+            key = profile_key(self, profile)
+            confirmed = sorted({param
+                                for r in outcome.results
+                                if r.verdict == CONFIRMED_UNSAFE
+                                for param in r.instance.params})
+            record = {
+                "results": [result_to_dict(r) for r in outcome.results],
+                "pool_stats": asdict(outcome.stats),
+                "executions": outcome.executions,
+                "fault_counts": dict(outcome.fault_counts),
+                "retries": outcome.retries,
+            }
+            stored = self._store.lookup_profile(key)
+            if stored is not None \
+                    and stored.get("record") == record \
+                    and list(stored.get("confirmed", [])) == confirmed:
+                continue  # identical record already durable
+            self._store.append_profile(key, name, record,
+                                       confirmed=confirmed)
+
     def _record_measured_cost(self, name: str, outcome: ProfileOutcome
                               ) -> None:
         """Feed one freshly *run* profile's measured cost into the cost
@@ -763,7 +944,8 @@ class Campaign:
                              outcome.executions * run_cost)
 
     def _profile_committed(self, outcome: ProfileOutcome,
-                           restored: bool = False) -> None:
+                           restored: bool = False,
+                           reused: bool = False) -> None:
         """Fold one finished profile into the live campaign observation.
 
         Called from the serial loop, checkpoint restore, and
@@ -787,6 +969,8 @@ class Campaign:
                 self._replay_profile_metrics(obs.metrics, outcome)
             if restored:
                 status = "restored"
+            elif reused:
+                status = "reused"
             elif outcome.error_kind == WORKER_CRASH:
                 status = "quarantined"
             elif outcome.error:
@@ -873,6 +1057,19 @@ class Campaign:
                     metrics.counter_inc(metric, value)
             metrics.gauge_max("zc_store_entries_loaded",
                               stats.entries_loaded)
+        if self._plan is not None:
+            plan = self._plan
+            for decision in PLAN_DECISIONS:
+                count = plan.count(decision)
+                if count:
+                    metrics.counter_inc("zc_plan_profiles_total", count,
+                                        decision=decision)
+            if plan.demoted:
+                metrics.counter_inc("zc_plan_demoted_profiles_total",
+                                    plan.demoted)
+            if plan.executions_saved:
+                metrics.counter_inc("zc_plan_executions_saved_total",
+                                    plan.executions_saved)
 
     def _cost_centers(self, usable: Sequence[TestProfile],
                       outcome_by_test: Mapping[str, ProfileOutcome],
@@ -986,14 +1183,26 @@ class Campaign:
                 pairs_by_param = {name: self.generator.value_pairs(self.registry.get(name))
                                   for name in params}
                 layers = max((len(p) for p in pairs_by_param.values()), default=0)
+                # Deterministic, seeded subset of (strategy, layer, param)
+                # cells (--sample); None = exhaustive.  The cost model
+                # mirrors this exact filter so its forecast stays honest.
+                kept = sample_cells(
+                    self.config.sample, self.config.sample_seed,
+                    self.config.sample_k, profile.test.full_name, group,
+                    list(self.generator.strategies_for_group(group_size)),
+                    {name: len(pairs_by_param[name]) for name in params})
                 for strategy in self.generator.strategies_for_group(group_size):
                     for layer in range(layers):
                         units = [self.generator.assignment(
                                      self.registry.get(name), group, strategy,
                                      pairs_by_param[name][layer])
                                  for name in params
-                                 if layer < len(pairs_by_param[name])]
-                        results.extend(tester.run(profile.test, group, strategy, units))
+                                 if layer < len(pairs_by_param[name])
+                                 and (kept is None
+                                      or (strategy, layer, name) in kept)]
+                        if units:
+                            results.extend(tester.run(profile.test, group,
+                                                      strategy, units))
         except Exception:  # noqa: BLE001 - graceful degradation
             # The profile degrades, but the machine time it burned is
             # real: keep the partial runner's executions, fault counts,

@@ -211,6 +211,13 @@ class AppReport:
     #: most expensive unit tests first (see CostCenter); () before the
     #: campaign computed them.
     cost_centers: Tuple[CostCenter, ...] = ()
+    #: the incremental campaign plan (repro.core.plan.CampaignPlan) when
+    #: the campaign ran with ``--incremental``; None otherwise.  Like the
+    #: store block it is volatile — the classification depends on what
+    #: earlier campaigns persisted — and deliberately NOT part of
+    #: FINDINGS_KEYS: a REUSE-heavy plan must report the same findings
+    #: as a cold run while reporting far fewer executions.
+    plan: Optional[object] = None
     #: the campaign-level repro.core.observe.Observation when the
     #: observability layer was on, else None.  Deliberately excluded
     #: from app_report_to_dict: exporters own the serialised forms.
@@ -372,10 +379,12 @@ def app_report_to_dict(report: AppReport) -> Dict[str, object]:
             "circuit_breaker_tripped":
                 report.supervision.circuit_breaker_tripped,
         },
+        "plan": (None if report.plan is None else report.plan.to_dict()),
         "store": (None if report.store is None else {
             "enabled": True,
             "segments": report.store.segments,
             "entries_loaded": report.store.entries_loaded,
+            "profiles_loaded": report.store.profiles_loaded,
             "hits": report.store.hits,
             "misses": report.store.misses,
             "appends": report.store.appends,

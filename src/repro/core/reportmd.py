@@ -92,6 +92,24 @@ def app_report_markdown(report: AppReport) -> str:
     sections.append(_table(["metric", "value"], stats_rows))
     sections.append("")
 
+    plan = report.plan
+    if plan is not None:
+        from repro.core.plan import PLAN_NEW, PLAN_RERUN, PLAN_REUSE
+        sections.append("## Campaign plan")
+        sections.append(_table(["metric", "value"], [
+            ["profiles reused from store", plan.count(PLAN_REUSE)],
+            ["profiles rerun (substrate changed)", plan.count(PLAN_RERUN)],
+            ["profiles new to the store", plan.count(PLAN_NEW)],
+            ["reuse demoted by blacklist coupling", plan.demoted],
+            ["executions saved", format(plan.executions_saved, ",")],
+        ]))
+        sections.append("")
+        sections.append(_table(
+            ["Unit test", "Decision", "Reason", "Executions saved"],
+            [["`%s`" % p.test, p.decision.upper(), p.reason,
+              format(p.executions_saved, ",")] for p in plan.profiles]))
+        sections.append("")
+
     if report.cost_centers:
         sections.append("## Top cost centers")
         sections.append(_table(

@@ -48,7 +48,8 @@ import struct
 import threading
 import zlib
 from dataclasses import asdict, dataclass, field, replace
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+from typing import (Any, Dict, Iterator, List, Mapping, Optional, Sequence,
+                    Set, Tuple)
 
 from repro.common.errors import ReproError
 from repro.common.faults import DiskFaultPlan, FaultyFile
@@ -97,6 +98,9 @@ class StoreStats:
     entries_loaded: int = 0
     #: reports seen at open (all substrates).
     reports_loaded: int = 0
+    #: whole-profile records loaded for this campaign's app (all
+    #: digests: profile reuse is keyed by content, not corpus digest).
+    profiles_loaded: int = 0
     #: valid records recovered from segments that also contained damage.
     salvaged_records: int = 0
     #: damage events: bad CRC/magic/length frames and skipped byte spans.
@@ -231,6 +235,11 @@ class ResultStore:
         self.digest: Optional[int] = None
         self._det: Dict[str, RunOutcome] = {}
         self._seeded: Dict[Tuple[str, int], RunOutcome] = {}
+        # whole-profile records for incremental planning (repro.core.plan):
+        # newest record per content key, and per test name (so a changed
+        # test is classified RERUN rather than NEW).
+        self._profiles_by_key: Dict[str, Dict[str, Any]] = {}
+        self._profile_by_test: Dict[str, Dict[str, Any]] = {}
         self._writer: Optional[Any] = None
         self._writer_pid: Optional[int] = None
         self._writer_dead = False
@@ -382,6 +391,26 @@ class ResultStore:
                 with self._lock:
                     self.stats.reports_loaded += 1
                 continue
+            if kind == "profile":
+                # Profile records are filtered by app only, NOT by corpus
+                # digest: reusing them across registry drift is the whole
+                # point — the per-profile content key embeds the parameter
+                # definitions, so staleness is decided per profile, not
+                # per substrate.
+                if record.get("app") != self.app:
+                    continue
+                key = record.get("key")
+                test = record.get("test")
+                if not isinstance(key, str) or not isinstance(test, str) \
+                        or not isinstance(record.get("record"), dict):
+                    with self._lock:
+                        self.stats.corrupt_records += 1
+                    continue
+                with self._lock:
+                    self._profiles_by_key[key] = record
+                    self._profile_by_test[test] = record
+                    self.stats.profiles_loaded += 1
+                continue
             if kind != "entry":
                 continue
             if record.get("app") != self.app:
@@ -426,6 +455,25 @@ class ResultStore:
                 return replace(outcome), True
             self.stats.misses += 1
             return None, False
+
+    def lookup_profile(self, key: str) -> Optional[Dict[str, Any]]:
+        """The newest whole-profile record with this content key."""
+        with self._lock:
+            return self._profiles_by_key.get(key)
+
+    def profile_for_test(self, test: str) -> Optional[Dict[str, Any]]:
+        """The newest whole-profile record for this unit test (any key)."""
+        with self._lock:
+            return self._profile_by_test.get(test)
+
+    def confirmed_params(self) -> Set[str]:
+        """Every parameter the newest stored profiles confirmed unsafe —
+        the blacklist-coupling closure's raw material."""
+        with self._lock:
+            confirmed: Set[str] = set()
+            for record in self._profile_by_test.values():
+                confirmed.update(str(p) for p in record.get("confirmed", ()))
+            return confirmed
 
     # ------------------------------------------------------------------
     # writing
@@ -542,6 +590,27 @@ class ResultStore:
                              "digest": self.digest, "key": key,
                              "seed": seed, "outcome": asdict(outcome)})
 
+    def append_profile(self, key: str, test: str,
+                       record: Mapping[str, Any],
+                       confirmed: Sequence[str] = ()) -> bool:
+        """Durably append one whole-profile record (newest wins per key).
+
+        ``record`` is the checkpoint test-done payload (results, pool
+        stats, executions, ...); ``confirmed`` lists the parameters this
+        profile confirmed unsafe, for the planner's blacklist-coupling
+        closure.  The serving maps are updated in place so a plan built
+        later in the same session sees the fresh record.
+        """
+        framed = {"kind": "profile", "app": self.app, "digest": self.digest,
+                  "key": key, "test": test, "confirmed": list(confirmed),
+                  "record": dict(record)}
+        if not self._append(framed):
+            return False
+        with self._lock:
+            self._profiles_by_key[key] = framed
+            self._profile_by_test[test] = framed
+        return True
+
     def put_report(self, report: Mapping[str, Any]) -> bool:
         """Durably append the finished application report (newest wins)."""
         return self._append({"kind": "report", "app": self.app,
@@ -572,8 +641,8 @@ class ResultStore:
         substrates: Dict[Tuple[str, int], Dict[str, int]] = {}
         totals = {"segments": 0, "bytes": 0, "entries": 0,
                   "deterministic": 0, "seeded": 0, "reports": 0,
-                  "corrupt_records": 0, "truncated_tails": 0,
-                  "salvaged_records": 0}
+                  "profiles": 0, "corrupt_records": 0,
+                  "truncated_tails": 0, "salvaged_records": 0}
         max_version = 0
         for path in self._segment_paths():
             scan = _scan_segment(path)
@@ -596,7 +665,7 @@ class ResultStore:
                 bucket = substrates.setdefault(
                     (str(record.get("app")), record.get("digest")),
                     {"entries": 0, "deterministic": 0, "seeded": 0,
-                     "reports": 0})
+                     "reports": 0, "profiles": 0})
                 if kind == "entry":
                     totals["entries"] += 1
                     bucket["entries"] += 1
@@ -607,6 +676,9 @@ class ResultStore:
                 elif kind == "report":
                     totals["reports"] += 1
                     bucket["reports"] += 1
+                elif kind == "profile":
+                    totals["profiles"] += 1
+                    bucket["profiles"] += 1
         if max_version > STORE_VERSION:
             raise StoreError(
                 "store at %r was written by format version %d; this build "
@@ -629,6 +701,7 @@ class ResultStore:
         try:
             live_entries: Dict[Tuple[str, Any, str, Any], Dict[str, Any]] = {}
             live_reports: Dict[Tuple[str, Any], Dict[str, Any]] = {}
+            live_profiles: Dict[Tuple[str, str], Dict[str, Any]] = {}
             compacted: List[str] = []
             skipped: List[str] = []
             dropped_damage = 0
@@ -657,10 +730,13 @@ class ResultStore:
                     elif kind == "report":
                         live_reports[(str(record.get("app")),
                                       record.get("digest"))] = record
+                    elif kind == "profile":
+                        live_profiles[(str(record.get("app")),
+                                       str(record.get("key")))] = record
                 compacted.append(os.path.basename(path))
             if not compacted:
                 return {"compacted_segments": 0, "kept_segments": len(skipped),
-                        "entries": 0, "reports": 0,
+                        "entries": 0, "profiles": 0, "reports": 0,
                         "dropped_damage": dropped_damage}
             index = 1
             existing = {os.path.basename(p) for p in self._segment_paths()}
@@ -677,6 +753,8 @@ class ResultStore:
                                       "writer_pid": os.getpid()}))
                 for slot in sorted(live_entries, key=repr):
                     handle.write(_encode(live_entries[slot]))
+                for slot in sorted(live_profiles, key=repr):
+                    handle.write(_encode(live_profiles[slot]))
                 for who in sorted(live_reports, key=repr):
                     handle.write(_encode(live_reports[who]))
                 handle.flush()
@@ -696,6 +774,7 @@ class ResultStore:
             return {"compacted_segments": len(compacted),
                     "kept_segments": len(skipped),
                     "entries": len(live_entries),
+                    "profiles": len(live_profiles),
                     "reports": len(live_reports),
                     "dropped_damage": dropped_damage,
                     "segment": name}

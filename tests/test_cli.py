@@ -137,7 +137,7 @@ class TestMachineReadableStoreAndServe:
 
     GOLDEN_STATS_KEYS = {
         "segments", "bytes", "entries", "deterministic", "seeded",
-        "reports", "corrupt_records", "truncated_tails",
+        "reports", "profiles", "corrupt_records", "truncated_tails",
         "salvaged_records", "substrates"}
 
     def _seeded_store(self, tmp_path):

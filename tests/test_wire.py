@@ -7,11 +7,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import repro.perf as perf
+from repro.common import wire
 from repro.common.errors import ChecksumError, DecodeError, SaslError, SslError
 from repro.common.wire import (CHECKSUM_TYPES, SASL_LEVELS, SUPPORTED_CODECS,
-                               compute_checksums, decode_payload,
-                               encode_payload, negotiate_sasl, transfer,
-                               verify_checksums)
+                               clear_wire_memo, compute_checksums,
+                               decode_payload, encode_payload, negotiate_sasl,
+                               transfer, verify_checksums)
 
 PAYLOAD = {"op": "write", "block": 17, "data": "0011aabb"}
 
@@ -145,6 +147,69 @@ class TestChecksums:
         corrupted = bytes([data[0] ^ 0xFF]) + data[1:]
         with pytest.raises(ChecksumError):
             verify_checksums(corrupted, sums, chunk, "CRC32")
+
+
+class TestWireMemo:
+    """The frame memo: digest keys, bounded size, partial eviction."""
+
+    def setup_method(self):
+        self._prev = perf.set_fast_path(True)
+        clear_wire_memo()
+
+    def teardown_method(self):
+        perf.set_fast_path(self._prev)
+        clear_wire_memo()
+
+    def test_fast_path_bytes_identical_to_legacy(self):
+        payloads = [
+            PAYLOAD,
+            {"method": "sendHeartbeat", "node": "dn-0", "blocks": 128},
+            {"manifest": list(range(512)), "meta": {"gen": 7}},
+            {"nested": {"a": [1, {"b": None}], "c": True}},
+        ]
+        options = [
+            {"codec": "gzip"},
+            {"encryption_key": b"sasl-privacy-wrap"},
+            {"ssl": True},
+            {"codec": "zstd", "encryption_key": b"k", "ssl": True},
+        ]
+        for payload in payloads:
+            for opts in options:
+                perf.set_fast_path(False)
+                legacy = encode_payload(payload, **opts)
+                perf.set_fast_path(True)
+                clear_wire_memo()
+                assert encode_payload(payload, **opts) == legacy
+                # and the memoised second encode too
+                assert encode_payload(payload, **opts) == legacy
+
+    def test_hot_key_survives_overflow(self):
+        hot = {"method": "sendHeartbeat", "node": "dn-0", "blocks": 128}
+        for i in range(wire._WIRE_MEMO_MAX - 1):
+            encode_payload({"cold": i}, codec="gzip")
+        first = encode_payload(hot, codec="gzip")
+        # these inserts trip the eviction threshold; the hot frame is in
+        # the newest half and must survive (a full clear() would drop it)
+        for i in range(100):
+            encode_payload({"cold2": i}, codec="gzip")
+        assert len(wire._ENCODE_MEMO) <= wire._WIRE_MEMO_MAX
+        assert encode_payload(hot, codec="gzip") is first
+
+    def test_memo_stays_bounded(self):
+        for i in range(wire._WIRE_MEMO_MAX + 300):
+            encode_payload({"cold": i}, codec="gzip")
+        assert len(wire._ENCODE_MEMO) <= wire._WIRE_MEMO_MAX
+
+    def test_decode_memo_partial_eviction(self):
+        frames = [encode_payload({"cold": i}, codec="gzip")
+                  for i in range(wire._WIRE_MEMO_MAX + 10)]
+        clear_wire_memo()
+        for frame in frames:
+            decode_payload(frame, codec="gzip")
+        assert len(wire._DECODE_MEMO) <= wire._WIRE_MEMO_MAX
+        # the most recent frame is still cached
+        recent_key = (frames[-1], "gzip", None, False)
+        assert recent_key in wire._DECODE_MEMO
 
 
 class TestSasl:
